@@ -1,0 +1,46 @@
+"""Figure 1: the LP22 single-faulty-leader pathology, and how Lumiere avoids it.
+
+The paper's Figure 1 shows an LP22 epoch in which the first leaders produce
+QCs at network speed, a faulty leader near the end of the epoch stalls, and
+honest processors must wait out almost the rest of the epoch's clock time
+before the next heavy synchronisation.  The same single fault under Lumiere
+costs a constant number of its view time Gamma, because QCs bump clocks
+forward and keep them aligned with the view number.
+
+The benchmark runs the scenario at two system sizes and reports the decision
+timelines; the assertions check the shape: LP22's worst stall grows with
+``n`` (an epoch-scale wait), Lumiere's does not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_single_silent_leader(benchmark, bench_sizes):
+    small, large = bench_sizes[0], bench_sizes[-1]
+
+    def run():
+        return {
+            n: run_figure1(n=n, delta=1.0, actual_delay=0.05, duration=300.0 + 120.0 * n, seed=0)
+            for n in (small, large)
+        }
+
+    figures = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Figure 1 / one silent Byzantine leader, delta = 0.05, Delta = 1")
+    for n, figure in figures.items():
+        print(f"  {figure.describe()}")
+        benchmark.extra_info[f"n{n}_lp22_max_gap"] = figure.lp22_max_gap
+        benchmark.extra_info[f"n{n}_lumiere_max_gap"] = figure.lumiere_max_gap
+
+    small_fig, large_fig = figures[small], figures[large]
+    # LP22 loses an epoch-scale wait: on the order of f view times at the larger size.
+    f_large = (large - 1) // 3
+    assert large_fig.lp22_max_gap >= f_large * large_fig.lp22_gamma
+    # Lumiere's stall stays a small constant multiple of its Gamma at every size.
+    assert small_fig.lumiere_max_gap <= 5 * small_fig.lumiere_gamma
+    assert large_fig.lumiere_max_gap <= 5 * large_fig.lumiere_gamma
+    # And LP22's stall grows with n while Lumiere's does not grow meaningfully.
+    assert large_fig.lp22_max_gap > small_fig.lp22_max_gap
+    assert large_fig.lumiere_max_gap <= small_fig.lumiere_max_gap + large_fig.lumiere_gamma

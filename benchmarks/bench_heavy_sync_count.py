@@ -1,0 +1,43 @@
+"""Theorem 1.1 (4): heavy epoch synchronisations stop in the steady state.
+
+Lumiere performs the quadratic all-to-all epoch synchronisation only while
+the success criterion has not yet been observed; after GST only a constant
+number of them may occur.  Basic Lumiere, LP22 and RareSync keep paying one
+per epoch forever.  The benchmark counts distinct heavy-synced epochs after
+a warm-up period for each protocol.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.steady_state import heavy_sync_count
+
+
+def test_heavy_sync_elimination(benchmark):
+    protocols = ("lumiere", "basic-lumiere", "lp22", "raresync")
+
+    def run():
+        return {
+            name: heavy_sync_count(name, n=7, f_actual=0, delta=1.0, actual_delay=0.05,
+                                   duration=1200.0, warmup=150.0, seed=0)
+            for name in protocols
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Heavy epoch synchronisations after warm-up (n=7, fault-free, 1200 time units)")
+    print(f"{'protocol':<15} {'total':>6} {'after warmup':>13} {'decisions':>10} {'msgs/decision':>14}")
+    for name, result in results.items():
+        avg = result.avg_messages_per_decision
+        print(
+            f"{name:<15} {result.total_heavy_syncs:>6} {result.heavy_syncs_after_warmup:>13} "
+            f"{result.decisions:>10} {avg if avg is None else round(avg, 1):>14}"
+        )
+        benchmark.extra_info[f"{name}_after_warmup"] = result.heavy_syncs_after_warmup
+
+    # Lumiere: no heavy synchronisation at all once the steady state is reached.
+    assert results["lumiere"].heavy_syncs_after_warmup == 0
+    # The epoch-based baselines keep heavy-syncing every epoch.
+    for baseline in ("basic-lumiere", "lp22", "raresync"):
+        assert results[baseline].heavy_syncs_after_warmup >= 3
+    # All protocols kept deciding (the comparison is not vacuous).
+    assert all(result.decisions > 0 for result in results.values())

@@ -1,0 +1,51 @@
+"""Theorem 1.1 (3): smooth optimistic responsiveness.
+
+With ``delta`` much smaller than ``Delta``, Lumiere's steady-state decision
+gap must be O(delta) when there are no faults, and grow by at most a
+constant number of ``Delta`` per actual fault — i.e. O(Delta * f_a + delta).
+The benchmark sweeps ``f_a`` and reports the measured worst and median gaps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.responsiveness import responsiveness_sweep
+
+
+def test_smooth_optimistic_responsiveness(benchmark, steady_state_n):
+    n = steady_state_n
+    f_max = (n - 1) // 3
+    fault_counts = list(range(0, f_max + 1))
+    delta = 1.0
+    actual_delay = 0.02
+
+    def run():
+        return responsiveness_sweep(
+            "lumiere",
+            n=n,
+            fault_counts=fault_counts,
+            delta=delta,
+            actual_delay=actual_delay,
+            seed=2,
+        )
+
+    points = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(f"Smooth optimistic responsiveness (Lumiere, n={n}, Delta=1, delta=0.02)")
+    print(f"{'f_a':>4} {'worst gap':>12} {'median gap':>12} {'decisions':>10}")
+    for point in points:
+        print(
+            f"{point.f_actual:>4} {point.max_gap:>12.3f} {point.median_gap:>12.3f} "
+            f"{point.decisions:>10}"
+        )
+        benchmark.extra_info[f"f{point.f_actual}_max_gap"] = point.max_gap
+
+    fault_free = points[0]
+    # O(delta) with zero faults: far below Delta.
+    assert fault_free.max_gap is not None and fault_free.max_gap < 0.5 * delta
+    assert fault_free.median_gap is not None and fault_free.median_gap <= 10 * actual_delay
+    # Each additional fault costs at most a constant number of Delta
+    # (Gamma = 12 Delta per owned view pair, up to two pairs back to back).
+    gamma = 2 * (4 + 2) * delta
+    for point in points[1:]:
+        assert point.max_gap is not None
+        assert point.max_gap <= 4 * point.f_actual * gamma + 6 * delta

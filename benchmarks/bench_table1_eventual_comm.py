@@ -1,0 +1,52 @@
+"""Table 1, row "Eventual Worst-case Communication".
+
+Paper: Cogsworth O(n + n f_a^2), NK20/LP22 O(n^2), Fever and Lumiere
+O(n f_a + n).
+
+We measure, in the steady state (long after GST, after a warm-up), the
+maximum number of honest messages sent between two consecutive honest-leader
+decisions, sweeping the actual number of faults ``f_a``.  The key separation
+is LP22 vs Lumiere: LP22 pays a heavy epoch synchronisation between two
+decisions infinitely often, Lumiere does not once the success criterion has
+been satisfied.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import TABLE1_PROTOCOLS, eventual_complexity_sweep, format_rows
+
+
+def test_eventual_communication_per_decision(benchmark, steady_state_n):
+    n = steady_state_n
+    f_max = (n - 1) // 3
+    fault_counts = sorted({0, 1, f_max})
+
+    def run():
+        return eventual_complexity_sweep(
+            protocols=TABLE1_PROTOCOLS,
+            n=n,
+            fault_counts=fault_counts,
+            delta=1.0,
+            actual_delay=0.1,
+            seed=1,
+        )
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(f"Table 1 / eventual (steady-state) cost per decision, n={n}")
+    print(format_rows(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    def eventual(protocol, f_a):
+        for row in rows:
+            if row.protocol == protocol and row.f_actual == f_a:
+                return row.eventual_communication
+        return None
+
+    # Fault-free steady state: Lumiere's per-decision communication is linear
+    # (far below LP22's, which pays a quadratic epoch synchronisation).
+    lumiere_0 = eventual("lumiere", 0)
+    lp22_0 = eventual("lp22", 0)
+    assert lumiere_0 is not None and lp22_0 is not None
+    assert lumiere_0 < lp22_0
+    assert lumiere_0 <= 6 * n, "Lumiere fault-free per-decision communication should be O(n)"

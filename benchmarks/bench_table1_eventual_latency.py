@@ -1,0 +1,60 @@
+"""Table 1, row "Eventual Worst-case Latency".
+
+Paper: Cogsworth O(f_a^2 Delta + delta); NK20/LP22 O(n Delta); Fever and
+Lumiere O(f_a Delta + delta).
+
+We measure the largest gap between consecutive honest-leader decisions in
+the steady state while sweeping ``f_a``.  The separation the paper
+emphasises: Lumiere's gap scales with the number of *actual* faults, whereas
+LP22's scales with ``n`` (a single Byzantine leader can stall it for the
+remainder of an epoch).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import TABLE1_PROTOCOLS, eventual_complexity_sweep, format_rows
+
+
+def test_eventual_latency_per_decision(benchmark, steady_state_n):
+    n = steady_state_n
+    f_max = (n - 1) // 3
+    fault_counts = sorted({0, 1, f_max})
+
+    def run():
+        return eventual_complexity_sweep(
+            protocols=TABLE1_PROTOCOLS,
+            n=n,
+            fault_counts=fault_counts,
+            delta=1.0,
+            actual_delay=0.1,
+            seed=5,
+        )
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(f"Table 1 / eventual (steady-state) worst decision gap, n={n}, Delta=1")
+    print(format_rows(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    def eventual_latency(protocol, f_a):
+        for row in rows:
+            if row.protocol == protocol and row.f_actual == f_a:
+                return row.eventual_latency
+        return None
+
+    # Fault-free: Lumiere and Fever run at network speed (<< Delta per decision);
+    # LP22 pays the epoch-boundary clock wait, which scales with n * Delta.
+    for responsive in ("lumiere", "fever"):
+        value = eventual_latency(responsive, 0)
+        assert value is not None and value < 1.0, (
+            f"{responsive} fault-free steady-state gap {value} is not O(delta)"
+        )
+    lp22_value = eventual_latency("lp22", 0)
+    assert lp22_value is not None and lp22_value > 1.0
+
+    # With faults, Lumiere's gap grows with f_a but stays far below LP22's
+    # epoch-scale stall at the same fault level.
+    lumiere_f = eventual_latency("lumiere", f_max)
+    assert lumiere_f is not None
+    gamma_lumiere = 2 * (4 + 2) * 1.0
+    assert lumiere_f <= 2 * f_max * gamma_lumiere + 6.0

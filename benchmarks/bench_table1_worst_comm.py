@@ -1,0 +1,47 @@
+"""Table 1, row "Worst-case Communication".
+
+Paper: Cogsworth/NK20 O(n^3); LP22, Fever and Lumiere O(n^2).
+
+We run each protocol with maximal faults and pre-GST asynchrony and measure
+``W_{GST+Delta}``: honest messages sent between GST+Delta and the first
+honest-leader QC after it, as a function of ``n``.  The assertion checks the
+*shape*: the optimal protocols stay at or below quadratic growth.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import estimate_exponent
+from repro.experiments.table1 import TABLE1_PROTOCOLS, format_rows, worst_case_complexity_sweep
+
+
+def test_worst_case_communication_scaling(benchmark, bench_sizes):
+    def run():
+        return worst_case_complexity_sweep(
+            protocols=TABLE1_PROTOCOLS, sizes=bench_sizes, delta=1.0, actual_delay=0.1, seed=1
+        )
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Table 1 / worst-case communication (W_{GST+Delta}) and latency after GST")
+    print(format_rows(rows))
+
+    by_protocol: dict[str, list] = {}
+    for row in rows:
+        by_protocol.setdefault(row.protocol, []).append(row)
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    # Shape check: Lumiere's worst-case communication grows at most ~quadratically
+    # (log-log slope comfortably below 3) over the measured sizes.
+    for protocol in ("lumiere", "lp22"):
+        measured = [
+            (row.n, row.worst_case_communication)
+            for row in by_protocol[protocol]
+            if row.worst_case_communication
+        ]
+        if len(measured) >= 2:
+            exponent = estimate_exponent([m[0] for m in measured], [m[1] for m in measured])
+            benchmark.extra_info[f"{protocol}_worst_comm_exponent"] = exponent
+            assert exponent < 3.0, f"{protocol} worst-case communication grew faster than n^3"
+
+    # Every protocol eventually produced a decision after GST in every run.
+    assert all(row.decisions > 0 for row in rows)

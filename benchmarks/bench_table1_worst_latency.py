@@ -1,0 +1,39 @@
+"""Table 1, row "Worst-case Latency".
+
+Paper: Cogsworth/NK20 O(n^2 Delta); LP22 and Lumiere O(n Delta); Fever
+O(f_a Delta + delta) (under its stronger clock assumptions).
+
+We measure ``t*_GST - GST``: the time from GST to the first honest-leader QC,
+under maximal faults and pre-GST asynchrony, as a function of ``n``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import TABLE1_PROTOCOLS, format_rows, worst_case_complexity_sweep
+
+
+def test_worst_case_latency_scaling(benchmark, bench_sizes):
+    def run():
+        return worst_case_complexity_sweep(
+            protocols=TABLE1_PROTOCOLS, sizes=bench_sizes, delta=1.0, actual_delay=0.1, seed=3
+        )
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("Table 1 / worst-case latency after GST (t*_GST - GST), Delta = 1")
+    print(format_rows(rows))
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+
+    largest_n = max(row.n for row in rows)
+    for row in rows:
+        if row.n != largest_n:
+            continue
+        assert row.worst_case_latency is not None, f"{row.protocol} never decided after GST"
+        # O(n * Delta) with a generous constant; catches accidental
+        # exponential or n^2-with-large-constant regressions for the
+        # Dolev-Reischuk-optimal protocols.
+        if row.protocol in ("lumiere", "lp22", "fever"):
+            assert row.worst_case_latency <= 40 * largest_n * 1.0, (
+                f"{row.protocol} worst-case latency {row.worst_case_latency} "
+                f"is not O(n * Delta) at n={largest_n}"
+            )

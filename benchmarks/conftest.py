@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one artefact of the paper (a Table-1 row group,
+Figure 1, or a Theorem-1.1 property) by running the simulator and reporting
+the measured quantities both on stdout and in ``benchmark.extra_info`` (so
+they land in ``--benchmark-json`` output).
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink system sizes and run durations by
+roughly 4x; the scaling *shapes* survive, the absolute counts get noisier.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def quick_mode() -> bool:
+    """Whether the benchmarks should run in quick (CI-sized) mode."""
+    return os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def bench_sizes() -> tuple[int, ...]:
+    """System sizes swept by the worst-case benchmarks."""
+    return (4, 7) if quick_mode() else (4, 7, 10)
+
+
+@pytest.fixture(scope="session")
+def steady_state_n() -> int:
+    """System size used by the steady-state (eventual) benchmarks."""
+    return 7

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Byzantine fault tolerance: what one silent leader costs each protocol.
+
+This is the scenario behind Figure 1 of the paper.  A single Byzantine
+processor that simply refuses to propose when it is the leader is enough to
+stall LP22 for the remainder of an epoch (a wait that grows with the system
+size), whereas Lumiere, Fever and the relay-based protocols lose only a
+bounded amount of time per faulty view.
+
+The script runs the same corruption plan under several pacemakers and prints
+the worst and median gap between consecutive consensus decisions in the
+steady state.
+
+Run with:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import CorruptionPlan, SilentLeaderBehaviour
+from repro.experiments import ScenarioConfig, run_scenario
+
+PROTOCOLS = ("lumiere", "lp22", "fever", "cogsworth", "backoff")
+N = 10
+DURATION = 1200.0
+WARMUP = 60.0
+
+
+def main() -> None:
+    print(f"One silent Byzantine leader out of n={N} processors (Delta=1, delta=0.05)")
+    print(f"{'protocol':<12} {'decisions':>10} {'worst gap':>11} {'median gap':>11} {'msgs':>9}")
+    print("-" * 58)
+    for name in PROTOCOLS:
+        config = ScenarioConfig(
+            n=N,
+            pacemaker=name,
+            delta=1.0,
+            actual_delay=0.05,
+            gst=0.0,
+            duration=DURATION,
+            record_trace=False,
+        )
+        config.corruption = CorruptionPlan.uniform(
+            config.protocol_config(), [N // 2], SilentLeaderBehaviour
+        )
+        result = run_scenario(config)
+        gaps = sorted(result.metrics.decision_gaps(after=WARMUP))
+        worst = gaps[-1] if gaps else float("nan")
+        median = gaps[len(gaps) // 2] if gaps else float("nan")
+        print(
+            f"{name:<12} {result.honest_decisions():>10} {worst:>11.2f} {median:>11.2f} "
+            f"{result.metrics.total_honest_messages:>9}"
+        )
+    print()
+    print("Reading the table: LP22's worst gap spans the rest of an epoch (grows with n);")
+    print("Lumiere's is a small constant number of its view time Gamma per faulty leader,")
+    print("and its median gap stays at network speed thanks to optimistic responsiveness.")
+
+
+if __name__ == "__main__":
+    main()

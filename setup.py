@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The environment this reproduction targets may not have the ``wheel`` package
+available (offline installs), in which case PEP-660 editable installs fail
+with ``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` allows
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) to work everywhere; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

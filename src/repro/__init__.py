@@ -1,0 +1,23 @@
+"""Reproduction of "Lumiere: Making Optimal BFT for Partial Synchrony Practical".
+
+The package is organised around a discrete-event simulator of the partial
+synchrony model (:mod:`repro.sim`), a simulated cryptography layer
+(:mod:`repro.crypto`), a chained-HotStuff consensus substrate
+(:mod:`repro.consensus`), the Lumiere view-synchronisation protocol that is
+the paper's contribution (:mod:`repro.core`), the baseline pacemakers it is
+compared against (:mod:`repro.pacemakers`), adversary models
+(:mod:`repro.adversary`), metrics (:mod:`repro.metrics`) and the experiment
+harness that regenerates the paper's table and figure
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(n=4, pacemaker="lumiere", duration=200.0))
+    print(result.summary())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""Adversary models: corruptions, Byzantine behaviours and attack strategies.
+
+The adversary in the partial synchrony model controls (a) which up-to-``f``
+processors are corrupted and how they misbehave, (b) GST, and (c) message
+delays subject to the post-GST bound.  (a) is expressed here as a
+:class:`CorruptionPlan` mapping processor ids to :class:`Behaviour` objects;
+(b) and (c) are expressed through :class:`~repro.sim.network.NetworkConfig`
+and :class:`~repro.sim.network.DelayModel` (see :mod:`repro.adversary.attacks`
+for pre-packaged worst-case schedules).
+"""
+
+from repro.adversary.behaviours import (
+    Behaviour,
+    CrashBehaviour,
+    EquivocatingBehaviour,
+    HonestBehaviour,
+    MuteViewSyncBehaviour,
+    SilentLeaderBehaviour,
+    SlowLeaderBehaviour,
+    WithholdQCBehaviour,
+)
+from repro.adversary.corruption import CorruptionPlan
+from repro.adversary.attacks import (
+    epoch_tail_corruption,
+    lp22_tail_attack_plan,
+    spread_corruption,
+    worst_case_clock_dispersion_model,
+)
+
+__all__ = [
+    "Behaviour",
+    "CorruptionPlan",
+    "CrashBehaviour",
+    "EquivocatingBehaviour",
+    "HonestBehaviour",
+    "MuteViewSyncBehaviour",
+    "SilentLeaderBehaviour",
+    "SlowLeaderBehaviour",
+    "WithholdQCBehaviour",
+    "epoch_tail_corruption",
+    "lp22_tail_attack_plan",
+    "spread_corruption",
+    "worst_case_clock_dispersion_model",
+]

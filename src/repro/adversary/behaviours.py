@@ -1,0 +1,160 @@
+"""Byzantine behaviours.
+
+A :class:`Behaviour` is attached to a replica and consulted by the consensus
+engine and the pacemaker at the points where a Byzantine processor could
+deviate: proposing, voting, broadcasting QCs, and participating in view
+synchronisation.  The default :class:`HonestBehaviour` never deviates.
+
+Behaviours deliberately express *omission and timing* faults plus
+equivocation — the deviations that actually matter for the paper's results.
+(Arbitrary message forgery is impossible by construction of the simulated
+cryptography: a Byzantine processor can only sign in its own name.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Behaviour:
+    """Base class: answers the engine's and pacemaker's "may I / should I" queries.
+
+    The default implementation is fully honest.  Subclasses override the
+    hooks relevant to their deviation.  ``is_byzantine`` distinguishes
+    corrupted processors for metrics purposes (corrupted processors' messages
+    are not counted in communication complexity).
+    """
+
+    is_byzantine: bool = False
+
+    # --- consensus-engine hooks -------------------------------------------------
+    def suppress_proposal(self, view: int) -> bool:
+        """Return True to make the leader stay silent instead of proposing."""
+        return False
+
+    def proposal_delay(self, view: int) -> float:
+        """Extra delay (in time units) before the leader sends its proposal."""
+        return 0.0
+
+    def equivocate(self, view: int) -> bool:
+        """Return True to make the leader propose two conflicting blocks."""
+        return False
+
+    def suppress_vote(self, view: int) -> bool:
+        """Return True to withhold this replica's vote in ``view``."""
+        return False
+
+    def suppress_qc_broadcast(self, view: int) -> bool:
+        """Return True to make the leader withhold the QC it formed."""
+        return False
+
+    def qc_broadcast_delay(self, view: int) -> float:
+        """Extra delay before the leader broadcasts a formed QC."""
+        return 0.0
+
+    # --- pacemaker hooks ----------------------------------------------------------
+    def suppress_view_sync(self, kind: str, view: int) -> bool:
+        """Return True to withhold a view-synchronisation message.
+
+        ``kind`` identifies the message class (e.g. ``"view"``, ``"epoch_view"``,
+        ``"vc"``, ``"wish"``); ``view`` is the view it concerns.
+        """
+        return False
+
+    # --- lifecycle ---------------------------------------------------------------
+    def crash_time(self) -> Optional[float]:
+        """If not ``None``, the simulation time at which this processor halts."""
+        return None
+
+    def describe(self) -> str:
+        """Human-readable description used in scenario reports."""
+        return type(self).__name__
+
+
+class HonestBehaviour(Behaviour):
+    """Never deviates."""
+
+
+@dataclass
+class CrashBehaviour(Behaviour):
+    """Crash-stop at a given time (benign fault)."""
+
+    at_time: float = 0.0
+    is_byzantine: bool = True
+
+    def crash_time(self) -> Optional[float]:
+        return self.at_time
+
+    def describe(self) -> str:
+        return f"CrashBehaviour(at={self.at_time})"
+
+
+class SilentLeaderBehaviour(Behaviour):
+    """Participates normally except it never proposes when it is the leader.
+
+    This is the canonical fault for latency attacks: a silent leader forces
+    every honest processor to wait out the full view timer.
+    """
+
+    is_byzantine = True
+
+    def suppress_proposal(self, view: int) -> bool:
+        return True
+
+    def suppress_qc_broadcast(self, view: int) -> bool:
+        return True
+
+
+@dataclass
+class SlowLeaderBehaviour(Behaviour):
+    """Delays proposals and QC broadcasts by a fixed amount when leader.
+
+    Used to exercise Lumiere's QC-production deadline: a QC produced too late
+    must not be produced at all by an honest leader, and a Byzantine leader
+    producing one late cannot slow the honest processors down by more than
+    Gamma per view it controls.
+    """
+
+    delay: float = 0.0
+    is_byzantine: bool = True
+
+    def proposal_delay(self, view: int) -> float:
+        return self.delay
+
+    def qc_broadcast_delay(self, view: int) -> float:
+        return self.delay
+
+    def describe(self) -> str:
+        return f"SlowLeaderBehaviour(delay={self.delay})"
+
+
+class EquivocatingBehaviour(Behaviour):
+    """Proposes two conflicting blocks to different halves of the processors."""
+
+    is_byzantine = True
+
+    def equivocate(self, view: int) -> bool:
+        return True
+
+
+class MuteViewSyncBehaviour(Behaviour):
+    """Votes and proposes, but never sends any view-synchronisation message.
+
+    Against epoch-based protocols this withholds epoch-view messages so that
+    honest processors must reach the 2f+1 threshold among themselves.
+    """
+
+    is_byzantine = True
+
+    def suppress_view_sync(self, kind: str, view: int) -> bool:
+        return True
+
+
+class WithholdQCBehaviour(Behaviour):
+    """Forms QCs as leader but never broadcasts them (omission at the worst point)."""
+
+    is_byzantine = True
+
+    def suppress_qc_broadcast(self, view: int) -> bool:
+        return True

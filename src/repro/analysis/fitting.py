@@ -1,0 +1,42 @@
+"""Scaling-shape helpers.
+
+The benchmarks do not try to match the paper's constants (our substrate is a
+simulator, not the authors' testbed); what must match is the *shape*: which
+protocol's cost grows with ``n``, which grows with ``f_a``, and roughly with
+what exponent.  These helpers estimate that from a handful of measured
+points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def estimate_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    For data following ``y ~ c * x^k`` this returns approximately ``k``.
+    Points with non-positive coordinates are ignored; at least two valid
+    points are required.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive (x, y) points to estimate an exponent")
+    log_x = [math.log(x) for x, _ in pairs]
+    log_y = [math.log(y) for _, y in pairs]
+    mean_x = sum(log_x) / len(log_x)
+    mean_y = sum(log_y) / len(log_y)
+    numerator = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    if denominator == 0:
+        raise ValueError("x values are all equal; exponent is undefined")
+    return numerator / denominator
+
+
+def growth_ratio(ys: Sequence[float]) -> float:
+    """Ratio of the last to the first measurement (a crude growth indicator)."""
+    valid = [y for y in ys if y is not None]
+    if len(valid) < 2 or valid[0] == 0:
+        return float("nan")
+    return valid[-1] / valid[0]

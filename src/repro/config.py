@@ -1,0 +1,72 @@
+"""Shared protocol configuration.
+
+A :class:`ProtocolConfig` captures the parameters that every protocol in the
+repository agrees on: the number of processors ``n = 3f + 1``, the known
+post-GST message-delay bound ``Delta``, and the view-completion constant
+``x`` from assumption (⋄1) of the paper (if an honest leader has 2f+1 honest
+processors with it in a view for ``x * delta`` time, the view produces a QC).
+
+Individual pacemakers derive their own constants (``Gamma``, epoch length,
+success-criterion thresholds) from this shared configuration; see the
+pacemaker-specific config dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Parameters shared by the consensus substrate and every pacemaker.
+
+    Attributes
+    ----------
+    n:
+        Total number of processors.  The paper assumes ``n = 3f + 1``; any
+        ``n >= 4`` is accepted and ``f`` is the largest integer less than
+        ``n / 3``.
+    delta:
+        The known bound ``Delta`` on post-GST message delay.
+    x:
+        View-completion constant from assumption (⋄1): an honest-leader view
+        in which 2f+1 honest processors participate produces a QC within
+        ``x * actual_delay`` once synchronised.  The paper requires
+        ``x >= 2``; our chained-HotStuff substrate completes a view in three
+        message hops after the leader enters it, so the default is 4 to
+        leave slack for the leader entering last.
+    """
+
+    n: int = 4
+    delta: float = 1.0
+    x: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ConfigurationError(f"n must be at least 4 (so that f >= 1), got {self.n}")
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.x < 2:
+            raise ConfigurationError(f"x must be at least 2 (paper, Section 2), got {self.x}")
+
+    @property
+    def f(self) -> int:
+        """Maximum number of Byzantine processors tolerated: largest integer < n/3."""
+        return (self.n - 1) // 3
+
+    @property
+    def quorum_size(self) -> int:
+        """Size of a quorum: ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def small_quorum_size(self) -> int:
+        """Size of a "small" quorum: ``f + 1`` (enough to include one honest processor)."""
+        return self.f + 1
+
+    @property
+    def processor_ids(self) -> range:
+        """Processor ids ``0 .. n-1``."""
+        return range(self.n)

@@ -1,0 +1,340 @@
+"""Chained HotStuff: the view-based consensus engine the pacemakers drive.
+
+One view of chained HotStuff, as described in Section 2 of the paper:
+
+1. the leader of view ``v`` proposes a block extending the highest QC it
+   knows (broadcast to all, O(n) messages),
+2. replicas in view ``v`` vote by sending a partial threshold signature to
+   the leader (O(n) messages),
+3. the leader aggregates ``2f+1`` votes into a QC for view ``v`` and sends
+   it to all processors (O(n) messages).
+
+A view therefore costs O(n) messages and at most three message delays once
+the participants are synchronised — satisfying assumption (⋄1) with a small
+constant ``x``.  Commit uses the classic 3-chain rule, so every sequence of
+three consecutive successful views commits a block.
+
+The engine never reads clocks: *when* to enter a view is entirely the
+pacemaker's decision, delivered via :meth:`ConsensusEngine.on_enter_view`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.consensus.blocks import Block, GENESIS
+from repro.consensus.messages import (
+    ConsensusMessage,
+    NewView,
+    Proposal,
+    QCAnnounce,
+    Vote,
+)
+from repro.consensus.quorum import QuorumCertificate, VoteAggregator
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from repro.consensus.replica import Replica
+
+
+class ConsensusEngine(ABC):
+    """Interface between a replica and its consensus logic."""
+
+    def __init__(self, replica: "Replica") -> None:
+        self.replica = replica
+
+    @abstractmethod
+    def on_enter_view(self, view: int) -> None:
+        """The pacemaker moved the replica into ``view``."""
+
+    @abstractmethod
+    def on_message(self, msg: ConsensusMessage, sender: int) -> None:
+        """Handle a consensus-layer message."""
+
+
+class ChainedHotStuff(ConsensusEngine):
+    """Chained HotStuff with NewView status messages and a 3-chain commit rule."""
+
+    def __init__(self, replica: "Replica") -> None:
+        super().__init__(replica)
+        self.aggregator = VoteAggregator(replica.scheme, replica.config.quorum_size)
+        # Proposals received for views we have not entered yet.
+        self._pending_proposals: dict[int, tuple[Proposal, int]] = {}
+        # Blocks whose parent we have not seen yet, keyed by the missing parent id.
+        self._orphans: dict[str, list[Block]] = {}
+        # Highest QCs reported via NewView, per view, per sender.
+        self._new_view_qcs: dict[int, dict[int, Optional[QuorumCertificate]]] = {}
+        self._proposed_views: set[int] = set()
+        self._announced_qcs: set[int] = set()
+        self._learned_qcs: set[tuple[int, str]] = set()
+        self._voted_views: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self):
+        return self.replica.config
+
+    @property
+    def safety(self):
+        return self.replica.safety
+
+    @property
+    def tree(self):
+        return self.replica.tree
+
+    @property
+    def behaviour(self):
+        return self.replica.behaviour
+
+    # ------------------------------------------------------------------
+    # View entry
+    # ------------------------------------------------------------------
+    def on_enter_view(self, view: int) -> None:
+        leader = self.replica.leader_of(view)
+        if not self.behaviour.suppress_view_sync("new_view", view):
+            self.replica.send(leader, NewView(view=view, high_qc=self.safety.high_qc))
+        self._maybe_propose(view)
+        pending = self._pending_proposals.pop(view, None)
+        if pending is not None:
+            proposal, sender = pending
+            self._handle_proposal(proposal, sender)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, msg: ConsensusMessage, sender: int) -> None:
+        if isinstance(msg, NewView):
+            self._handle_new_view(msg, sender)
+        elif isinstance(msg, Proposal):
+            self._handle_proposal(msg, sender)
+        elif isinstance(msg, Vote):
+            self._handle_vote(msg, sender)
+        elif isinstance(msg, QCAnnounce):
+            self._handle_qc_announce(msg, sender)
+
+    # ------------------------------------------------------------------
+    # Leader logic
+    # ------------------------------------------------------------------
+    def _handle_new_view(self, msg: NewView, sender: int) -> None:
+        if self.replica.leader_of(msg.view) != self.replica.pid:
+            return
+        if msg.high_qc is not None:
+            self._learn_qc(msg.high_qc, block=None)
+        self._new_view_qcs.setdefault(msg.view, {})[sender] = msg.high_qc
+        self._maybe_propose(msg.view)
+
+    def _maybe_propose(self, view: int) -> None:
+        """Propose for ``view`` if we lead it and are ready.
+
+        Ready means: we hold a QC for ``view - 1`` (the responsive path), or
+        we have NewView messages from a quorum (the recovery path after a
+        failed view), or ``view`` is the first view of the execution.
+        """
+        replica = self.replica
+        if view < 0 or replica.leader_of(view) != replica.pid:
+            return
+        if view in self._proposed_views:
+            return
+        if replica.current_view != view:
+            return
+        high_qc = self.safety.high_qc
+        quorum_reports = self._new_view_qcs.get(view, {})
+        responsive_ready = high_qc is not None and high_qc.view == view - 1
+        recovery_ready = len(quorum_reports) >= self.config.quorum_size
+        genesis_ready = view == 0
+        if not (responsive_ready or recovery_ready or genesis_ready):
+            return
+
+        justify = self._best_justify(high_qc, quorum_reports.values())
+        parent = self._parent_for(justify)
+        if parent is None:
+            return
+        self._proposed_views.add(view)
+
+        if self.behaviour.suppress_proposal(view):
+            self.replica.trace("proposal_suppressed", view=view)
+            return
+
+        delay = self.behaviour.proposal_delay(view)
+        if self.behaviour.equivocate(view):
+            self._propose_equivocating(view, parent, justify, delay)
+            return
+
+        block = Block(
+            view=view,
+            parent_id=parent.block_id,
+            proposer=replica.pid,
+            payload=replica.mempool.next_batch(),
+            justify_view=justify.view if justify is not None else -1,
+        )
+        proposal = Proposal(view=view, block=block, justify=justify)
+        self._send_after(delay, lambda: replica.broadcast(proposal))
+        replica.trace("proposal_sent", view=view, block=block.block_id[:8])
+
+    def _propose_equivocating(
+        self, view: int, parent: Block, justify: Optional[QuorumCertificate], delay: float
+    ) -> None:
+        """Byzantine leader: send conflicting proposals to the two halves of the system."""
+        replica = self.replica
+        block_a = Block(
+            view=view,
+            parent_id=parent.block_id,
+            proposer=replica.pid,
+            payload=replica.mempool.next_batch() + ("equivocation-a",),
+            justify_view=justify.view if justify is not None else -1,
+        )
+        block_b = Block(
+            view=view,
+            parent_id=parent.block_id,
+            proposer=replica.pid,
+            payload=replica.mempool.next_batch() + ("equivocation-b",),
+            justify_view=justify.view if justify is not None else -1,
+        )
+        all_ids = list(self.replica.network.process_ids)
+        half = len(all_ids) // 2
+        first, second = all_ids[:half], all_ids[half:]
+
+        def send() -> None:
+            for pid in first:
+                replica.send(pid, Proposal(view=view, block=block_a, justify=justify))
+            for pid in second:
+                replica.send(pid, Proposal(view=view, block=block_b, justify=justify))
+
+        self._send_after(delay, send)
+        replica.trace("equivocation_sent", view=view)
+
+    def _best_justify(
+        self,
+        high_qc: Optional[QuorumCertificate],
+        reported: "Optional[object]",
+    ) -> Optional[QuorumCertificate]:
+        """The highest-view QC among our own and those reported via NewView."""
+        best = high_qc
+        for qc in reported or ():
+            if qc is None:
+                continue
+            if best is None or qc.view > best.view:
+                best = qc
+        return best
+
+    def _parent_for(self, justify: Optional[QuorumCertificate]) -> Optional[Block]:
+        if justify is None:
+            return GENESIS
+        return self.tree.get(justify.block_id)
+
+    # ------------------------------------------------------------------
+    # Replica logic
+    # ------------------------------------------------------------------
+    def _handle_proposal(self, msg: Proposal, sender: int) -> None:
+        replica = self.replica
+        leader = replica.leader_of(msg.view)
+        if sender != leader or msg.block.proposer != leader:
+            return
+        if msg.justify is not None:
+            self._learn_qc(msg.justify, block=None)
+        self._store_block(msg.block)
+        current = replica.current_view
+        if msg.view > current:
+            self._pending_proposals[msg.view] = (msg, sender)
+            return
+        if msg.view < current:
+            return
+        self._vote_on(msg)
+
+    def _vote_on(self, msg: Proposal) -> None:
+        replica = self.replica
+        block = msg.block
+        if block.parent_id not in self.tree and block.parent_id != "genesis":
+            # Parent unknown: remember the proposal; we may receive the parent
+            # via a QCAnnounce shortly.
+            self._orphans.setdefault(block.parent_id, []).append(block)
+            return
+        if msg.view in self._voted_views:
+            return
+        if not self.safety.safe_to_vote(block, msg.justify):
+            return
+        if self.behaviour.suppress_vote(msg.view):
+            return
+        self._voted_views.add(msg.view)
+        self.safety.record_vote(block)
+        message = ("qc", msg.view, block.block_id)
+        partial = replica.scheme.partial_sign(replica.signing_key, message)
+        vote = Vote(view=msg.view, block_id=block.block_id, partial=partial)
+        replica.send(replica.leader_of(msg.view), vote)
+
+    def _handle_vote(self, msg: Vote, sender: int) -> None:
+        replica = self.replica
+        if replica.leader_of(msg.view) != replica.pid:
+            return
+        qc = self.aggregator.add_vote(msg.view, msg.block_id, msg.partial)
+        if qc is not None:
+            self._on_qc_formed(qc)
+
+    def _on_qc_formed(self, qc: QuorumCertificate) -> None:
+        replica = self.replica
+        if qc.view in self._announced_qcs:
+            return
+        if not replica.pacemaker.may_produce_qc(qc.view):
+            replica.trace("qc_withheld_past_deadline", view=qc.view)
+            return
+        self._announced_qcs.add(qc.view)
+        block = self.tree.get(qc.block_id)
+        replica.on_qc_produced(qc)
+        if self.behaviour.suppress_qc_broadcast(qc.view):
+            replica.trace("qc_broadcast_suppressed", view=qc.view)
+            self._learn_qc(qc, block=block)
+            return
+        delay = self.behaviour.qc_broadcast_delay(qc.view)
+        announce = QCAnnounce(view=qc.view, qc=qc, block=block if block is not None else GENESIS)
+        self._send_after(delay, lambda: replica.broadcast(announce))
+
+    def _handle_qc_announce(self, msg: QCAnnounce, sender: int) -> None:
+        if msg.block is not None and msg.block.view >= 0:
+            self._store_block(msg.block)
+        self._learn_qc(msg.qc, block=msg.block)
+
+    # ------------------------------------------------------------------
+    # Shared QC / block learning
+    # ------------------------------------------------------------------
+    def _store_block(self, block: Block) -> None:
+        if block.block_id in self.tree:
+            return
+        if block.parent_id not in self.tree and block.parent_id != "genesis":
+            self._orphans.setdefault(block.parent_id, []).append(block)
+            return
+        self.tree.add(block)
+        self._adopt_orphans(block.block_id)
+
+    def _adopt_orphans(self, parent_id: str) -> None:
+        children = self._orphans.pop(parent_id, [])
+        for child in children:
+            if child.block_id not in self.tree:
+                self.tree.add(child)
+                self._adopt_orphans(child.block_id)
+
+    def _learn_qc(self, qc: QuorumCertificate, block: Optional[Block]) -> None:
+        key = (qc.view, qc.block_id)
+        if key in self._learned_qcs:
+            return
+        if not self.replica.scheme.verify(qc.aggregate, qc.message()):
+            return
+        self._learned_qcs.add(key)
+        if block is not None and block.view >= 0:
+            self._store_block(block)
+        self.safety.update_high_qc(qc)
+        for committed in self.safety.commit_candidate(qc):
+            self.replica.commit_block(committed)
+        self.replica.on_qc_observed(qc)
+        # Observing a QC may unblock our own proposal for the view we lead.
+        self._maybe_propose(self.replica.current_view)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _send_after(self, delay: float, action) -> None:
+        if delay > 0:
+            self.replica.sim.schedule(delay, action)
+        else:
+            action()

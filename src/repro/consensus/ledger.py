@@ -1,0 +1,78 @@
+"""Per-replica ledger of committed blocks.
+
+The ledger is the externally visible output of SMR: an ordered sequence of
+committed blocks (and hence commands).  Safety means the ledgers of any two
+honest replicas are always prefixes of one another; the integration tests
+assert exactly that via :func:`ledgers_consistent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.consensus.blocks import Block
+from repro.errors import SafetyViolation
+
+
+@dataclass(frozen=True)
+class CommittedEntry:
+    """One committed block together with the commit (simulation) time."""
+
+    block: Block
+    commit_time: float
+
+
+class Ledger:
+    """Append-only committed chain of one replica."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._entries: list[CommittedEntry] = []
+        self._committed_ids: set[str] = set()
+
+    def commit(self, block: Block, time: float) -> None:
+        """Append a committed block.  Views must strictly increase."""
+        if block.block_id in self._committed_ids:
+            return
+        if self._entries and block.view <= self._entries[-1].block.view:
+            raise SafetyViolation(
+                f"replica {self.owner} committed view {block.view} after "
+                f"view {self._entries[-1].block.view}"
+            )
+        self._entries.append(CommittedEntry(block=block, commit_time=time))
+        self._committed_ids.add(block.block_id)
+
+    @property
+    def entries(self) -> Sequence[CommittedEntry]:
+        """All committed entries in commit order."""
+        return tuple(self._entries)
+
+    @property
+    def blocks(self) -> list[Block]:
+        """All committed blocks in commit order."""
+        return [entry.block for entry in self._entries]
+
+    @property
+    def block_ids(self) -> list[str]:
+        """Committed block ids in commit order."""
+        return [entry.block.block_id for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def commands(self) -> list[str]:
+        """Flattened committed command sequence."""
+        return [cmd for entry in self._entries for cmd in entry.block.payload]
+
+
+def ledgers_consistent(ledgers: Iterable[Ledger]) -> bool:
+    """Whether every pair of ledgers is prefix-consistent (the safety property)."""
+    sequences = [ledger.block_ids for ledger in ledgers]
+    for i, seq_a in enumerate(sequences):
+        for seq_b in sequences[i + 1 :]:
+            shorter, longer = (seq_a, seq_b) if len(seq_a) <= len(seq_b) else (seq_b, seq_a)
+            if longer[: len(shorter)] != shorter:
+                return False
+    return True

@@ -1,0 +1,24 @@
+"""A trivial mempool generating synthetic client commands.
+
+The paper's results are independent of the workload content; blocks only
+need *some* payload so that the ledger and safety checks are meaningful.
+The mempool hands out monotonically numbered command ids in fixed-size
+batches.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class Mempool:
+    """Produces synthetic command batches for block proposals."""
+
+    def __init__(self, owner: int, batch_size: int = 4) -> None:
+        self.owner = owner
+        self.batch_size = batch_size
+        self._counter = itertools.count()
+
+    def next_batch(self) -> tuple:
+        """A fresh batch of command identifiers (owner-tagged, monotonic)."""
+        return tuple(f"cmd-{self.owner}-{next(self._counter)}" for _ in range(self.batch_size))

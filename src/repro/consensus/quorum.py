@@ -1,0 +1,77 @@
+"""Quorum certificates and vote aggregation.
+
+A Quorum Certificate (QC) for a view ``v`` is a threshold signature by
+``2f + 1`` distinct processors over ``(view, block_id)``.  Producing a QC is
+what the paper calls "the successful completion of a view": the pacemakers
+treat QC arrival as the signal to advance or bump clocks, and the complexity
+measures are defined in terms of the first post-GST QC produced by an honest
+leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.threshold import PartialSignature, ThresholdScheme, ThresholdSignature
+from repro.errors import ThresholdError
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """Certificate that view ``view`` completed on block ``block_id``."""
+
+    view: int
+    block_id: str
+    aggregate: ThresholdSignature
+
+    @property
+    def signers(self) -> frozenset[int]:
+        """Processors whose votes were aggregated."""
+        return self.aggregate.signers
+
+    def message(self) -> tuple:
+        """The message the aggregate signature covers."""
+        return ("qc", self.view, self.block_id)
+
+    def __repr__(self) -> str:
+        return f"QC(view={self.view}, block={self.block_id[:8]}…, signers={len(self.signers)})"
+
+
+class VoteAggregator:
+    """Collects votes per ``(view, block_id)`` and forms a QC at quorum.
+
+    Each leader owns one aggregator.  Votes from duplicate signers are
+    ignored; the QC is formed at most once per (view, block).
+    """
+
+    def __init__(self, scheme: ThresholdScheme, quorum_size: int) -> None:
+        self.scheme = scheme
+        self.quorum_size = quorum_size
+        self._partials: dict[tuple[int, str], dict[int, PartialSignature]] = {}
+        self._formed: set[tuple[int, str]] = set()
+
+    def add_vote(
+        self, view: int, block_id: str, partial: PartialSignature
+    ) -> Optional[QuorumCertificate]:
+        """Record a vote; return a freshly formed QC if this vote completed a quorum."""
+        key = (view, block_id)
+        if key in self._formed:
+            return None
+        message = ("qc", view, block_id)
+        if not self.scheme.verify_partial(partial, message):
+            return None
+        bucket = self._partials.setdefault(key, {})
+        bucket[partial.signer] = partial
+        if len(bucket) < self.quorum_size:
+            return None
+        try:
+            aggregate = self.scheme.combine(list(bucket.values()), self.quorum_size, message)
+        except ThresholdError:
+            return None
+        self._formed.add(key)
+        return QuorumCertificate(view=view, block_id=block_id, aggregate=aggregate)
+
+    def votes_for(self, view: int, block_id: str) -> int:
+        """How many distinct votes have been collected for (view, block)."""
+        return len(self._partials.get((view, block_id), {}))

@@ -1,0 +1,145 @@
+"""The replica: one simulated processor running consensus plus a pacemaker.
+
+A :class:`Replica` composes
+
+* the chained-HotStuff engine (:mod:`repro.consensus.engine`),
+* a pluggable pacemaker (any :class:`repro.pacemakers.base.Pacemaker`),
+* the replica's signing key and the shared threshold scheme,
+* a :class:`~repro.adversary.behaviours.Behaviour` describing deviations
+  (honest by default), and
+* the metrics collector observing the run.
+
+Message routing is type-based: :class:`~repro.consensus.messages.ConsensusMessage`
+instances go to the engine, everything else to the pacemaker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.adversary.behaviours import Behaviour, HonestBehaviour
+from repro.config import ProtocolConfig
+from repro.consensus.blocks import Block, BlockTree
+from repro.consensus.engine import ChainedHotStuff, ConsensusEngine
+from repro.consensus.ledger import Ledger
+from repro.consensus.mempool import Mempool
+from repro.consensus.messages import ConsensusMessage
+from repro.consensus.quorum import QuorumCertificate
+from repro.consensus.safety import SafetyRules
+from repro.crypto.signatures import PKI, SigningKey
+from repro.crypto.threshold import ThresholdScheme
+from repro.metrics.collector import MetricsCollector
+from repro.sim.process import Process, SimContext
+
+
+class Replica(Process):
+    """One processor: consensus engine + pacemaker + keys + ledger."""
+
+    def __init__(
+        self,
+        pid: int,
+        ctx: SimContext,
+        config: ProtocolConfig,
+        pki: PKI,
+        signing_key: SigningKey,
+        scheme: ThresholdScheme,
+        pacemaker_factory: Callable[["Replica"], Any],
+        engine_factory: Optional[Callable[["Replica"], ConsensusEngine]] = None,
+        metrics: Optional[MetricsCollector] = None,
+        behaviour: Optional[Behaviour] = None,
+        mempool: Optional[Mempool] = None,
+    ) -> None:
+        super().__init__(pid, ctx)
+        self.config = config
+        self.pki = pki
+        self.signing_key = signing_key
+        self.scheme = scheme
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.behaviour = behaviour if behaviour is not None else HonestBehaviour()
+        self.byzantine = self.behaviour.is_byzantine
+        self.tree = BlockTree()
+        self.safety = SafetyRules(self.tree)
+        self.ledger = Ledger(pid)
+        self.mempool = mempool if mempool is not None else Mempool(pid)
+        self.engine = (engine_factory or ChainedHotStuff)(self)
+        self.pacemaker = pacemaker_factory(self)
+        self._schedule_crash_if_any()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the pacemaker (which will drive the engine into views)."""
+        self.pacemaker.start()
+
+    def _schedule_crash_if_any(self) -> None:
+        crash_at = self.behaviour.crash_time()
+        if crash_at is None:
+            return
+        crash_at = max(crash_at, self.now)
+        self.sim.schedule_at(crash_at, self.crash)
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+    def on_message(self, payload: Any, sender: int) -> None:
+        if isinstance(payload, ConsensusMessage):
+            self.engine.on_message(payload, sender)
+        else:
+            self.pacemaker.on_message(payload, sender)
+
+    # ------------------------------------------------------------------
+    # View bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def current_view(self) -> int:
+        """The view this replica is currently in, as decided by its pacemaker."""
+        return self.pacemaker.current_view
+
+    def leader_of(self, view: int) -> int:
+        """The leader of ``view`` under the pacemaker's leader schedule."""
+        return self.pacemaker.leader_of(view)
+
+    def is_leader(self, view: int) -> bool:
+        """Whether this replica leads ``view``."""
+        return self.leader_of(view) == self.pid
+
+    def on_view_entered(self, view: int) -> None:
+        """Callback from the pacemaker when this replica enters ``view``."""
+        self.metrics.record_view_entry(self.pid, view, self.now)
+        self.trace("enter_view", view=view, local_clock=round(self.local_time, 3))
+        self.engine.on_enter_view(view)
+
+    # ------------------------------------------------------------------
+    # QC and commit callbacks (from the engine)
+    # ------------------------------------------------------------------
+    def on_qc_produced(self, qc: QuorumCertificate) -> None:
+        """This replica, as leader, formed a QC for its own view."""
+        self.metrics.record_decision(self.now, qc.view, self.pid)
+        self.trace("qc_produced", view=qc.view)
+        self.pacemaker.on_local_qc(qc)
+
+    def on_qc_observed(self, qc: QuorumCertificate) -> None:
+        """This replica learned of a QC (its own or another leader's)."""
+        self.metrics.record_qc()
+        self.trace("qc_observed", view=qc.view)
+        self.pacemaker.on_qc(qc)
+
+    def commit_block(self, block: Block) -> None:
+        """A block became committed under the 3-chain rule."""
+        self.ledger.commit(block, self.now)
+        self.metrics.record_commit(self.pid, block.view, block.block_id, self.now)
+        self.trace("commit", view=block.view, block=block.block_id[:8])
+
+    # ------------------------------------------------------------------
+    # Epoch-synchronisation accounting (used by epoch-based pacemakers)
+    # ------------------------------------------------------------------
+    def record_epoch_sync(self, epoch: int) -> None:
+        """Record participation in a heavy (all-to-all) epoch synchronisation."""
+        self.metrics.record_epoch_sync(self.pid, epoch, self.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Replica(pid={self.pid}, view={self.current_view}, "
+            f"pacemaker={type(self.pacemaker).__name__}, byzantine={self.byzantine})"
+        )

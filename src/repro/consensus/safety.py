@@ -1,0 +1,147 @@
+"""HotStuff safety rules: voting constraints, locking, and the 3-chain commit rule.
+
+Safety must hold regardless of what the pacemaker does — even a completely
+broken view-synchronisation layer can only hurt liveness.  The tests in
+``tests/test_safety.py`` exercise exactly that separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.blocks import Block, BlockTree, GENESIS
+from repro.consensus.quorum import QuorumCertificate
+
+
+@dataclass
+class SafetyState:
+    """The persistent safety-critical state of one replica."""
+
+    last_voted_view: int = -1
+    locked_qc: Optional[QuorumCertificate] = None
+    high_qc: Optional[QuorumCertificate] = None
+    last_committed_view: int = -1
+
+
+class SafetyRules:
+    """Implements the chained-HotStuff voting and commit rules.
+
+    * **Voting rule**: vote for a proposal in view ``v`` only if ``v`` is
+      greater than the last voted view, and the proposed block extends the
+      locked block (or the proposal's justify QC is newer than the lock).
+    * **Locking rule**: lock on the grandparent QC of a newly certified
+      block (one-chain behind the high QC's parent), i.e. the standard
+      "lock on the second newest QC of a 2-chain".
+    * **Commit rule (3-chain)**: a block commits once it heads a chain of
+      three blocks certified in consecutive views.
+    """
+
+    def __init__(self, tree: BlockTree) -> None:
+        self.tree = tree
+        self.state = SafetyState()
+
+    # ------------------------------------------------------------------
+    # High QC tracking
+    # ------------------------------------------------------------------
+    def update_high_qc(self, qc: Optional[QuorumCertificate]) -> None:
+        """Remember the highest-view QC seen so far and update the lock."""
+        if qc is None:
+            return
+        if self.state.high_qc is None or qc.view > self.state.high_qc.view:
+            self.state.high_qc = qc
+        self._maybe_update_lock(qc)
+
+    def _maybe_update_lock(self, qc: QuorumCertificate) -> None:
+        """Lock on the parent QC of the newly certified block (2-chain lock)."""
+        block = self.tree.get(qc.block_id)
+        if block is None:
+            return
+        parent = self.tree.parent(block)
+        if parent is None or parent.view < 0:
+            return
+        parent_qc_view = block.justify_view
+        if parent_qc_view < 0:
+            return
+        current = self.state.locked_qc.view if self.state.locked_qc is not None else -1
+        if parent_qc_view > current:
+            # We lock by view; the QC object for the parent may not have been
+            # retained, so synthesise a lightweight lock record from the block.
+            self.state.locked_qc = QuorumCertificate(
+                view=parent_qc_view, block_id=parent.block_id, aggregate=qc.aggregate
+            )
+
+    @property
+    def high_qc(self) -> Optional[QuorumCertificate]:
+        """The highest-view QC this replica has seen."""
+        return self.state.high_qc
+
+    @property
+    def high_qc_view(self) -> int:
+        """View of the highest QC seen (-1 if none)."""
+        return self.state.high_qc.view if self.state.high_qc is not None else -1
+
+    # ------------------------------------------------------------------
+    # Voting
+    # ------------------------------------------------------------------
+    def safe_to_vote(self, block: Block, justify: Optional[QuorumCertificate]) -> bool:
+        """Whether it is safe to vote for ``block`` justified by ``justify``."""
+        if block.view <= self.state.last_voted_view:
+            return False
+        locked = self.state.locked_qc
+        if locked is None:
+            return True
+        # Safety clause: the proposal extends the locked block.
+        if self.tree.get(block.parent_id) is not None and self.tree.extends(
+            block, locked.block_id
+        ):
+            return True
+        # Liveness clause: the justify QC is newer than our lock.
+        if justify is not None and justify.view > locked.view:
+            return True
+        return False
+
+    def record_vote(self, block: Block) -> None:
+        """Remember that we voted in ``block.view`` (votes are never repeated)."""
+        self.state.last_voted_view = max(self.state.last_voted_view, block.view)
+
+    # ------------------------------------------------------------------
+    # Committing
+    # ------------------------------------------------------------------
+    def commit_candidate(self, qc: QuorumCertificate) -> list[Block]:
+        """Blocks newly committed by the 3-chain rule when ``qc`` arrives.
+
+        Let ``b2`` be the block certified by ``qc``, ``b1`` its parent and
+        ``b0`` its grandparent.  If their views are consecutive
+        (``b2.view == b1.view + 1 == b0.view + 2``) then ``b0`` and all its
+        uncommitted ancestors commit.  Returns the newly committed blocks in
+        chain order (oldest first); empty if nothing commits.
+        """
+        b2 = self.tree.get(qc.block_id)
+        if b2 is None:
+            return []
+        b1 = self.tree.parent(b2)
+        if b1 is None:
+            return []
+        b0 = self.tree.parent(b1)
+        if b0 is None:
+            return []
+        if b2.view != b1.view + 1 or b1.view != b0.view + 1:
+            return []
+        if b0.view <= self.state.last_committed_view:
+            return []
+        # Walk upwards from b0 only until the already-committed prefix is
+        # reached; this keeps the amortised cost per commit constant.
+        pending: list[Block] = []
+        current: Optional[Block] = b0
+        while (
+            current is not None
+            and current.view >= 0
+            and current.view > self.state.last_committed_view
+        ):
+            pending.append(current)
+            current = self.tree.parent(current)
+        newly_committed = list(reversed(pending))
+        if newly_committed:
+            self.state.last_committed_view = b0.view
+        return newly_committed

@@ -1,0 +1,104 @@
+"""Certificate collectors used by Lumiere (and reusable by other pacemakers).
+
+Two collectors exist:
+
+* :class:`CertificateCollector` — collects signed *view messages* per view at
+  the view's leader and forms a View Certificate (``f+1`` threshold
+  signature) exactly once.
+* :class:`EpochMessageCollector` — collects broadcast *epoch-view messages*
+  per epoch view at every processor and reports when the Timeout
+  Certificate threshold (``f+1`` distinct signers) and the Epoch Certificate
+  threshold (``2f+1`` distinct signers) are first crossed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.threshold import PartialSignature, ThresholdScheme, ThresholdSignature
+from repro.errors import ThresholdError
+
+
+class CertificateCollector:
+    """Aggregates partial signatures per view into a threshold signature."""
+
+    def __init__(self, scheme: ThresholdScheme, threshold: int, payload_fn) -> None:
+        self.scheme = scheme
+        self.threshold = threshold
+        self.payload_fn = payload_fn
+        self._partials: dict[int, dict[int, PartialSignature]] = {}
+        self._formed: set[int] = set()
+
+    def add(self, view: int, sender: int, partial: PartialSignature) -> Optional[ThresholdSignature]:
+        """Record a share; return the aggregate the first time the threshold is met."""
+        if view in self._formed:
+            return None
+        payload = self.payload_fn(view)
+        if not self.scheme.verify_partial(partial, payload):
+            return None
+        if partial.signer != sender:
+            return None
+        bucket = self._partials.setdefault(view, {})
+        bucket[sender] = partial
+        if len(bucket) < self.threshold:
+            return None
+        try:
+            aggregate = self.scheme.combine(list(bucket.values()), self.threshold, payload)
+        except ThresholdError:
+            return None
+        self._formed.add(view)
+        return aggregate
+
+    def count(self, view: int) -> int:
+        """Number of distinct valid shares collected for ``view``."""
+        return len(self._partials.get(view, {}))
+
+    def formed(self, view: int) -> bool:
+        """Whether the aggregate for ``view`` has already been produced."""
+        return view in self._formed
+
+
+class EpochMessageCollector:
+    """Counts distinct epoch-view message signers and reports TC / EC thresholds.
+
+    ``add`` returns a pair of booleans ``(tc_now, ec_now)`` that are True the
+    first time the respective threshold is crossed for the view.
+    """
+
+    def __init__(self, scheme: ThresholdScheme, tc_threshold: int, ec_threshold: int, payload_fn) -> None:
+        self.scheme = scheme
+        self.tc_threshold = tc_threshold
+        self.ec_threshold = ec_threshold
+        self.payload_fn = payload_fn
+        self._signers: dict[int, set[int]] = {}
+        self._tc_reported: set[int] = set()
+        self._ec_reported: set[int] = set()
+
+    def add(self, view: int, sender: int, partial: PartialSignature) -> tuple[bool, bool]:
+        """Record an epoch-view message; report threshold crossings."""
+        payload = self.payload_fn(view)
+        if partial.signer != sender or not self.scheme.verify_partial(partial, payload):
+            return (False, False)
+        signers = self._signers.setdefault(view, set())
+        signers.add(sender)
+        tc_now = False
+        ec_now = False
+        if len(signers) >= self.tc_threshold and view not in self._tc_reported:
+            self._tc_reported.add(view)
+            tc_now = True
+        if len(signers) >= self.ec_threshold and view not in self._ec_reported:
+            self._ec_reported.add(view)
+            ec_now = True
+        return (tc_now, ec_now)
+
+    def count(self, view: int) -> int:
+        """Distinct signers seen for ``view``."""
+        return len(self._signers.get(view, set()))
+
+    def has_tc(self, view: int) -> bool:
+        """Whether a TC (``f+1`` signers) has been assembled for ``view``."""
+        return view in self._tc_reported
+
+    def has_ec(self, view: int) -> bool:
+        """Whether an EC (``2f+1`` signers) has been assembled for ``view``."""
+        return view in self._ec_reported

@@ -1,0 +1,92 @@
+"""The Lumiere leader schedule.
+
+Section 4 of the paper assigns leaders as follows: fix a sequence of
+permutations of the processor set such that consecutive "leader rounds" at
+an epoch boundary share an endpoint; give every leader two consecutive
+views; cycle through the permutations round by round.  The property the
+correctness proof actually relies on (Lemma 5.13 and footnote 2) is:
+
+* every leader owns two consecutive views (an initial view and the
+  non-initial grace view after it), and
+* **the last leader of every epoch is also the first leader of the next
+  epoch**, so that an honest processor in that position can carry the
+  synchronisation gained at the end of one epoch into the start of the next.
+
+The paper achieves the boundary property with paired reverse permutations;
+we construct it directly: rounds are pseudo-random permutations, and each
+round that starts an epoch is constrained to begin with the processor that
+ended the previous round.  This preserves exactly the property the proof
+needs while keeping leader assignment pseudo-random and identical at every
+processor (the schedule is a deterministic function of the seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class LeaderSchedule:
+    """Deterministic epoch-aware leader assignment shared by all processors."""
+
+    def __init__(self, n: int, views_per_round: int, rounds_per_epoch: int, seed: int = 0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if views_per_round != 2 * n:
+            raise ConfigurationError(
+                f"views_per_round must be 2n={2 * n} (two consecutive views per leader), "
+                f"got {views_per_round}"
+            )
+        if rounds_per_epoch < 1:
+            raise ConfigurationError(f"rounds_per_epoch must be >= 1, got {rounds_per_epoch}")
+        self.n = n
+        self.views_per_round = views_per_round
+        self.rounds_per_epoch = rounds_per_epoch
+        self._rng = random.Random(seed)
+        self._rounds: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+    # Round generation
+    # ------------------------------------------------------------------
+    def _round(self, index: int) -> list[int]:
+        """The permutation used for leader round ``index`` (lazily generated)."""
+        while len(self._rounds) <= index:
+            self._rounds.append(self._generate_round(len(self._rounds)))
+        return self._rounds[index]
+
+    def _generate_round(self, index: int) -> list[int]:
+        permutation = list(range(self.n))
+        self._rng.shuffle(permutation)
+        if index == 0:
+            return permutation
+        starts_epoch = index % self.rounds_per_epoch == 0
+        if starts_epoch:
+            previous_last = self._rounds[index - 1][-1]
+            permutation.remove(previous_last)
+            permutation.insert(0, previous_last)
+        return permutation
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def leader_of(self, view: int) -> int:
+        """The leader of ``view``."""
+        if view < 0:
+            return 0
+        round_index = view // self.views_per_round
+        slot = (view // 2) % self.n
+        return self._round(round_index)[slot]
+
+    def views_led_by(self, pid: int, epoch: int, epoch_length: int) -> list[int]:
+        """All views within ``epoch`` that ``pid`` leads (useful for tests and attacks)."""
+        first = epoch * epoch_length
+        return [view for view in range(first, first + epoch_length) if self.leader_of(view) == pid]
+
+    def last_leader_of_epoch(self, epoch: int, epoch_length: int) -> int:
+        """The leader of the final view of ``epoch``."""
+        return self.leader_of((epoch + 1) * epoch_length - 1)
+
+    def first_leader_of_epoch(self, epoch: int, epoch_length: int) -> int:
+        """The leader of the first view of ``epoch``."""
+        return self.leader_of(epoch * epoch_length)

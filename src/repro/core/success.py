@@ -1,0 +1,67 @@
+"""The success criterion of Section 3.5.
+
+An epoch *produces the success criterion* when at least ``2f + 1`` distinct
+processors each produce a QC for every one of their views in the epoch (ten
+QCs with the default epoch length).  Each processor tracks the criterion
+locally from the QCs it observes; when the local variable ``success(e)``
+flips to 1, the processor treats the first view of epoch ``e + 1`` as a
+standard initial view and skips the heavy epoch synchronisation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.quorum import QuorumCertificate
+from repro.core.config import LumiereConfig
+
+
+class SuccessTracker:
+    """Tracks, per epoch, which leaders produced QCs for which views."""
+
+    def __init__(self, config: LumiereConfig, leader_of: Callable[[int], int]) -> None:
+        self.config = config
+        self.leader_of = leader_of
+        self._qc_views: dict[int, dict[int, set[int]]] = {}
+        self._satisfied: set[int] = set()
+
+    def observe_qc(self, qc: QuorumCertificate) -> bool:
+        """Record a QC.  Returns True if this observation *newly* satisfies the epoch."""
+        if not self.config.use_success_criterion:
+            return False
+        view = qc.view
+        if view < 0:
+            return False
+        epoch = self.config.epoch_of(view)
+        if epoch in self._satisfied:
+            return False
+        leader = self.leader_of(view)
+        per_leader = self._qc_views.setdefault(epoch, {})
+        per_leader.setdefault(leader, set()).add(view)
+        qualified = sum(
+            1
+            for views in per_leader.values()
+            if len(views) >= self.config.success_qcs_per_leader
+        )
+        if qualified >= self.config.success_leaders_required:
+            self._satisfied.add(epoch)
+            return True
+        return False
+
+    def satisfied(self, epoch: int) -> bool:
+        """The local variable ``success(epoch)``."""
+        if epoch < 0:
+            return False
+        return epoch in self._satisfied
+
+    def qc_count(self, epoch: int) -> int:
+        """Total QCs observed for views of ``epoch`` (diagnostics)."""
+        per_leader = self._qc_views.get(epoch, {})
+        return sum(len(views) for views in per_leader.values())
+
+    def qualified_leaders(self, epoch: int) -> int:
+        """How many leaders currently meet the per-leader QC quota in ``epoch``."""
+        per_leader = self._qc_views.get(epoch, {})
+        return sum(
+            1 for views in per_leader.values() if len(views) >= self.config.success_qcs_per_leader
+        )

@@ -1,0 +1,26 @@
+"""Simulated cryptography.
+
+The paper assumes perfect cryptographic primitives: authenticated channels,
+a PKI-backed signature scheme, and an ``m``-of-``n`` threshold signature
+scheme (``m`` is ``f+1`` or ``2f+1``).  Only message counts and O(kappa)
+sizes matter to the results, so this package provides lightweight objects
+whose unforgeability is enforced *by construction*: a signature share can
+only be minted through the :class:`SigningKey` held by the corresponding
+processor, and aggregation refuses duplicate signers or too-few shares.
+"""
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import KeyPair, PKI, Signature, SigningKey, VerifyingKey
+from repro.crypto.threshold import PartialSignature, ThresholdScheme, ThresholdSignature
+
+__all__ = [
+    "KeyPair",
+    "PKI",
+    "PartialSignature",
+    "Signature",
+    "SigningKey",
+    "ThresholdScheme",
+    "ThresholdSignature",
+    "VerifyingKey",
+    "digest",
+]

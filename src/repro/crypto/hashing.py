@@ -1,0 +1,49 @@
+"""Deterministic hashing of protocol payloads.
+
+Hashes are used as block identifiers and as the message component of
+signatures.  They need to be deterministic across runs (so traces are
+reproducible) and collision-free for the objects we hash; a truncated
+BLAKE2b over a canonical ``repr`` of the payload is plenty for both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+DIGEST_SIZE_BYTES = 16
+
+
+def _canonical(payload: Any) -> bytes:
+    """Render a payload into canonical bytes for hashing.
+
+    Tuples, lists, dicts, dataclass-like reprs and primitives all reduce to a
+    stable textual form.  Sets are sorted to remove ordering nondeterminism.
+    """
+    if isinstance(payload, bytes):
+        return payload
+    if isinstance(payload, str):
+        return payload.encode("utf-8")
+    if isinstance(payload, (int, float, bool)) or payload is None:
+        return repr(payload).encode("utf-8")
+    if isinstance(payload, (frozenset, set)):
+        inner = b",".join(sorted(_canonical(item) for item in payload))
+        return b"{" + inner + b"}"
+    if isinstance(payload, (tuple, list)):
+        inner = b",".join(_canonical(item) for item in payload)
+        return b"(" + inner + b")"
+    if isinstance(payload, dict):
+        inner = b",".join(
+            _canonical(key) + b":" + _canonical(value) for key, value in sorted(payload.items())
+        )
+        return b"[" + inner + b"]"
+    return repr(payload).encode("utf-8")
+
+
+def digest(*parts: Any) -> str:
+    """Return a short hex digest binding all ``parts`` together."""
+    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE_BYTES)
+    for part in parts:
+        hasher.update(_canonical(part))
+        hasher.update(b"|")
+    return hasher.hexdigest()

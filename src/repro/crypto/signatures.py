@@ -1,0 +1,139 @@
+"""Simulated digital signatures and PKI.
+
+A :class:`Signature` over a message digest can only be produced through the
+:class:`SigningKey` of the signer, which the simulation hands exclusively to
+the owning processor.  Byzantine processors therefore can sign arbitrary
+*contents* in their own name but can never forge signatures of honest
+processors — exactly the adversary the paper assumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import CryptoError, InvalidSignature
+from repro.crypto.hashing import digest
+
+# Monotonic counter giving each SigningKey an unforgeable secret token.
+_SECRET_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature by ``signer`` over ``message_digest``.
+
+    The ``proof`` field binds the signature to the secret token of the
+    signer's key; :meth:`VerifyingKey.verify` recomputes it.
+    """
+
+    signer: int
+    message_digest: str
+    proof: str
+
+    def __repr__(self) -> str:
+        return f"Signature(signer={self.signer}, digest={self.message_digest[:8]}…)"
+
+
+class SigningKey:
+    """The private half of a key pair.  Only its owner can mint signatures."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._secret = next(_SECRET_COUNTER)
+
+    def sign(self, message: Any) -> Signature:
+        """Sign an arbitrary message (hashed canonically first)."""
+        message_digest = digest(message)
+        proof = digest("sig", self.owner, self._secret, message_digest)
+        return Signature(signer=self.owner, message_digest=message_digest, proof=proof)
+
+    # The secret is exposed (read-only) to the verifying key created alongside
+    # this signing key; nothing else in the library reads it.
+    @property
+    def secret_token(self) -> int:
+        return self._secret
+
+
+class VerifyingKey:
+    """The public half of a key pair."""
+
+    def __init__(self, owner: int, secret_token: int) -> None:
+        self.owner = owner
+        self._secret = secret_token
+
+    def verify(self, signature: Signature, message: Any) -> bool:
+        """Check that ``signature`` was produced by this key's owner over ``message``."""
+        if signature.signer != self.owner:
+            return False
+        message_digest = digest(message)
+        if signature.message_digest != message_digest:
+            return False
+        expected = digest("sig", self.owner, self._secret, message_digest)
+        return signature.proof == expected
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing/verifying key pair for one processor."""
+
+    signing: SigningKey
+    verifying: VerifyingKey
+
+    @classmethod
+    def generate(cls, owner: int) -> "KeyPair":
+        signing = SigningKey(owner)
+        verifying = VerifyingKey(owner, signing.secret_token)
+        return cls(signing=signing, verifying=verifying)
+
+
+class PKI:
+    """Public-key infrastructure: maps processor ids to verifying keys.
+
+    The PKI also acts as the key-generation ceremony: :meth:`setup` creates a
+    key pair per processor and returns the signing keys so the simulation can
+    hand each one to its owner.
+    """
+
+    def __init__(self) -> None:
+        self._verifying: dict[int, VerifyingKey] = {}
+
+    @classmethod
+    def setup(cls, processor_ids: Iterable[int]) -> tuple["PKI", dict[int, SigningKey]]:
+        """Generate keys for every processor and register the public halves."""
+        pki = cls()
+        signing_keys: dict[int, SigningKey] = {}
+        for pid in processor_ids:
+            pair = KeyPair.generate(pid)
+            pki._verifying[pid] = pair.verifying
+            signing_keys[pid] = pair.signing
+        return pki, signing_keys
+
+    @property
+    def processor_ids(self) -> list[int]:
+        """All processor ids with registered keys."""
+        return sorted(self._verifying)
+
+    def verifying_key(self, pid: int) -> VerifyingKey:
+        """The verifying key for processor ``pid``."""
+        try:
+            return self._verifying[pid]
+        except KeyError as exc:
+            raise CryptoError(f"no verifying key registered for processor {pid}") from exc
+
+    def verify(self, signature: Signature, message: Any) -> None:
+        """Verify ``signature`` over ``message``; raise :class:`InvalidSignature` otherwise."""
+        key = self.verifying_key(signature.signer)
+        if not key.verify(signature, message):
+            raise InvalidSignature(
+                f"signature by {signature.signer} failed verification"
+            )
+
+    def is_valid(self, signature: Signature, message: Any) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify(signature, message)
+        except CryptoError:
+            return False
+        return True

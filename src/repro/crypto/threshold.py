@@ -1,0 +1,135 @@
+"""Simulated ``m``-of-``n`` threshold signatures.
+
+The paper uses two thresholds: ``f+1`` (View Certificates, Timeout
+Certificates) and ``2f+1`` (Quorum Certificates, Epoch Certificates).  A
+:class:`ThresholdSignature` is O(kappa)-sized regardless of ``m`` and ``n``;
+here we keep the signer set only so that tests and metrics can inspect who
+contributed — the object still *counts* as a single constant-size message
+component, matching the paper's complexity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ThresholdError
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import PKI, Signature, SigningKey
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    """One processor's share towards a threshold signature on ``message_digest``."""
+
+    signer: int
+    message_digest: str
+    signature: Signature
+
+    def __repr__(self) -> str:
+        return f"PartialSignature(signer={self.signer}, digest={self.message_digest[:8]}…)"
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """An aggregated signature of at least ``threshold`` distinct processors."""
+
+    message_digest: str
+    threshold: int
+    signers: frozenset[int]
+    proof: str
+
+    @property
+    def size(self) -> int:
+        """Number of distinct contributing signers."""
+        return len(self.signers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdSignature(digest={self.message_digest[:8]}…, "
+            f"threshold={self.threshold}, signers={sorted(self.signers)})"
+        )
+
+
+class ThresholdScheme:
+    """Aggregation and verification of partial signatures.
+
+    One scheme instance is shared by all processors (it holds only public
+    material: the PKI).  Minting a partial share still requires the signer's
+    private :class:`SigningKey`, so the unforgeability argument carries over
+    from :mod:`repro.crypto.signatures`.
+    """
+
+    def __init__(self, pki: PKI) -> None:
+        self.pki = pki
+
+    # ------------------------------------------------------------------
+    # Shares
+    # ------------------------------------------------------------------
+    def partial_sign(self, key: SigningKey, message: Any) -> PartialSignature:
+        """Create this signer's share over ``message``."""
+        message_digest = digest(message)
+        signature = key.sign(message)
+        return PartialSignature(
+            signer=key.owner, message_digest=message_digest, signature=signature
+        )
+
+    def verify_partial(self, partial: PartialSignature, message: Any) -> bool:
+        """Check one share against the PKI."""
+        if partial.message_digest != digest(message):
+            return False
+        return self.pki.is_valid(partial.signature, message)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def combine(
+        self,
+        partials: Sequence[PartialSignature],
+        threshold: int,
+        message: Any,
+    ) -> ThresholdSignature:
+        """Aggregate shares into a threshold signature.
+
+        Raises :class:`ThresholdError` if there are fewer than ``threshold``
+        *distinct valid* signers.
+        """
+        if threshold <= 0:
+            raise ThresholdError(f"threshold must be positive, got {threshold}")
+        message_digest = digest(message)
+        valid_signers: set[int] = set()
+        for partial in partials:
+            if partial.message_digest != message_digest:
+                continue
+            if not self.verify_partial(partial, message):
+                continue
+            valid_signers.add(partial.signer)
+        if len(valid_signers) < threshold:
+            raise ThresholdError(
+                f"need {threshold} distinct valid shares, got {len(valid_signers)}"
+            )
+        signers = frozenset(valid_signers)
+        proof = digest("threshold", message_digest, threshold, sorted(signers))
+        return ThresholdSignature(
+            message_digest=message_digest,
+            threshold=threshold,
+            signers=signers,
+            proof=proof,
+        )
+
+    def verify(self, aggregate: ThresholdSignature, message: Any) -> bool:
+        """Verify an aggregated signature against ``message``."""
+        message_digest = digest(message)
+        if aggregate.message_digest != message_digest:
+            return False
+        if aggregate.size < aggregate.threshold:
+            return False
+        if not set(aggregate.signers) <= set(self.pki.processor_ids):
+            return False
+        expected = digest("threshold", message_digest, aggregate.threshold, sorted(aggregate.signers))
+        return aggregate.proof == expected
+
+    def require_valid(self, aggregate: ThresholdSignature, message: Any) -> None:
+        """Raise :class:`ThresholdError` unless ``aggregate`` verifies over ``message``."""
+        if not self.verify(aggregate, message):
+            raise ThresholdError("threshold signature failed verification")

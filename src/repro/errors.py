@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the repro package.
+
+Every exception raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library errors without catching
+programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object was constructed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator was used incorrectly (e.g. scheduling in the past)."""
+
+
+class CryptoError(ReproError):
+    """A simulated cryptographic operation failed verification."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature did not verify against the claimed signer and payload."""
+
+
+class ThresholdError(CryptoError):
+    """A threshold signature could not be formed or did not verify."""
+
+
+class ConsensusError(ReproError):
+    """The consensus substrate detected an invalid message or state."""
+
+
+class SafetyViolation(ConsensusError):
+    """Two conflicting blocks were committed — should be impossible."""
+
+
+class PacemakerError(ReproError):
+    """A view-synchronisation protocol detected an invalid message or state."""

@@ -1,0 +1,37 @@
+"""Experiment harness: scenario construction, runs, and the paper's artefacts.
+
+:func:`run_scenario` builds a complete simulated deployment (simulator,
+network, keys, replicas with the chosen pacemaker, corruption plan, metrics)
+from a declarative :class:`ScenarioConfig`, runs it, and returns a
+:class:`ScenarioResult` with the measured quantities.
+
+The ``table1``, ``figure1`` and ``responsiveness`` modules build on it to
+regenerate the corresponding artefacts from the paper.
+"""
+
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.table1 import (
+    Table1Row,
+    eventual_complexity_sweep,
+    table1_rows,
+    worst_case_complexity_sweep,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.responsiveness import ResponsivenessPoint, responsiveness_sweep
+from repro.experiments.steady_state import HeavySyncResult, heavy_sync_count
+
+__all__ = [
+    "Figure1Result",
+    "HeavySyncResult",
+    "ResponsivenessPoint",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Table1Row",
+    "eventual_complexity_sweep",
+    "heavy_sync_count",
+    "responsiveness_sweep",
+    "run_figure1",
+    "run_scenario",
+    "table1_rows",
+    "worst_case_complexity_sweep",
+]

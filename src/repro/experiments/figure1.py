@@ -1,0 +1,106 @@
+"""Regeneration of Figure 1: the LP22 single-faulty-leader pathology.
+
+Figure 1 of the paper shows an LP22 epoch in which the first leaders produce
+QCs at network speed, a faulty leader near the end of the epoch stalls, and
+honest processors must then wait out almost the whole epoch's worth of clock
+time before the next epoch synchronisation — even though only one processor
+is faulty.  Lumiere bounds the damage of the same faulty leader to a single
+view's ``Gamma``.
+
+:func:`run_figure1` runs the same corruption plan (one silent leader owning
+the tail view of an epoch) under both protocols and reports, for each, the
+largest gap between consecutive honest-leader decisions after the warmup,
+together with the decision timeline used to plot the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.behaviours import SilentLeaderBehaviour
+from repro.adversary.corruption import CorruptionPlan
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Decision timelines and maximum stall for the two protocols."""
+
+    n: int
+    corrupted: int
+    lp22_decision_times: tuple[float, ...]
+    lumiere_decision_times: tuple[float, ...]
+    lp22_max_gap: float
+    lumiere_max_gap: float
+    lp22_gamma: float
+    lumiere_gamma: float
+
+    def gap_ratio(self) -> float:
+        """How many times larger LP22's worst stall is than Lumiere's."""
+        if self.lumiere_max_gap <= 0:
+            return float("inf")
+        return self.lp22_max_gap / self.lumiere_max_gap
+
+    def describe(self) -> str:
+        return (
+            f"Figure 1 (n={self.n}, silent leader p{self.corrupted}): "
+            f"LP22 worst stall {self.lp22_max_gap:.2f} "
+            f"({self.lp22_max_gap / self.lp22_gamma:.1f} Gamma_lp22), "
+            f"Lumiere worst stall {self.lumiere_max_gap:.2f} "
+            f"({self.lumiere_max_gap / self.lumiere_gamma:.1f} Gamma_lumiere)"
+        )
+
+
+def _decision_times(result: ScenarioResult, after: float) -> list[float]:
+    return [d.time for d in result.metrics.honest_decisions() if d.time >= after]
+
+
+def run_figure1(
+    n: int = 13,
+    *,
+    delta: float = 1.0,
+    actual_delay: float = 0.05,
+    duration: float = 2500.0,
+    seed: int = 0,
+    corrupted: int | None = None,
+) -> Figure1Result:
+    """Run the Figure-1 scenario under LP22 and Lumiere and compare stalls."""
+    base = ScenarioConfig(n=n, delta=delta, actual_delay=actual_delay, gst=0.0, duration=duration,
+                          seed=seed, record_trace=False)
+    protocol_config = base.protocol_config()
+    if corrupted is None:
+        # A silent leader somewhere in the middle of the round-robin order;
+        # over a long run its views periodically fall at an LP22 epoch tail.
+        corrupted = (2 * (protocol_config.f + 1) - 1) % n
+
+    def plan() -> CorruptionPlan:
+        return CorruptionPlan.uniform(protocol_config, [corrupted], SilentLeaderBehaviour)
+
+    lp22_config = ScenarioConfig(
+        n=n, pacemaker="lp22", delta=delta, actual_delay=actual_delay, gst=0.0,
+        duration=duration, seed=seed, corruption=plan(), record_trace=False,
+    )
+    lumiere_config = ScenarioConfig(
+        n=n, pacemaker="lumiere", delta=delta, actual_delay=actual_delay, gst=0.0,
+        duration=duration, seed=seed, corruption=plan(), record_trace=False,
+    )
+    lp22_result = run_scenario(lp22_config)
+    lumiere_result = run_scenario(lumiere_config)
+
+    warmup = 20.0 * delta
+    lp22_times = _decision_times(lp22_result, warmup)
+    lumiere_times = _decision_times(lumiere_result, warmup)
+    lp22_gaps = [b - a for a, b in zip(lp22_times, lp22_times[1:])]
+    lumiere_gaps = [b - a for a, b in zip(lumiere_times, lumiere_times[1:])]
+
+    x = protocol_config.x
+    return Figure1Result(
+        n=n,
+        corrupted=corrupted,
+        lp22_decision_times=tuple(lp22_times),
+        lumiere_decision_times=tuple(lumiere_times),
+        lp22_max_gap=max(lp22_gaps) if lp22_gaps else float("nan"),
+        lumiere_max_gap=max(lumiere_gaps) if lumiere_gaps else float("nan"),
+        lp22_gamma=(x + 1) * delta,
+        lumiere_gamma=2 * (x + 2) * delta,
+    )

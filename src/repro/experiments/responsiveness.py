@@ -1,0 +1,94 @@
+"""Smooth optimistic responsiveness (Theorem 1.1, property 3).
+
+A protocol is *smoothly optimistically responsive* when, after some finite
+time following GST, the worst-case latency between honest-leader decisions
+is ``O(Delta * f_a + delta)``: with no faults it runs at network speed
+(``O(delta)``), and every additional actual fault costs at most a constant
+number of ``Delta`` per decision gap.
+
+:func:`responsiveness_sweep` measures the steady-state worst decision gap as
+a function of ``f_a`` for a protocol, with ``delta`` much smaller than
+``Delta`` so the two regimes are clearly separated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.adversary.attacks import spread_corruption
+from repro.adversary.behaviours import SilentLeaderBehaviour
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+@dataclass(frozen=True)
+class ResponsivenessPoint:
+    """Measured steady-state latency at one fault level."""
+
+    protocol: str
+    n: int
+    f_actual: int
+    delta: float
+    actual_delay: float
+    #: Largest gap between consecutive honest-leader decisions after warmup.
+    max_gap: Optional[float]
+    #: Median gap (the typical decision cadence).
+    median_gap: Optional[float]
+    decisions: int
+
+    def gap_in_delta(self) -> Optional[float]:
+        """The worst gap expressed in units of Delta."""
+        if self.max_gap is None:
+            return None
+        return self.max_gap / self.delta
+
+
+def responsiveness_sweep(
+    protocol: str = "lumiere",
+    n: int = 13,
+    fault_counts: Optional[Iterable[int]] = None,
+    *,
+    delta: float = 1.0,
+    actual_delay: float = 0.02,
+    seed: int = 0,
+    duration: Optional[float] = None,
+) -> list[ResponsivenessPoint]:
+    """Measure the steady-state decision gap for increasing ``f_a``."""
+    f_max = (n - 1) // 3
+    if fault_counts is None:
+        fault_counts = range(0, f_max + 1)
+    if duration is None:
+        duration = 400.0 * delta + 60.0 * n * delta
+    points = []
+    for f_actual in fault_counts:
+        config = ScenarioConfig(
+            n=n,
+            pacemaker=protocol,
+            delta=delta,
+            actual_delay=actual_delay,
+            gst=0.0,
+            duration=duration,
+            seed=seed,
+            record_trace=False,
+        )
+        config.corruption = spread_corruption(
+            config.protocol_config(), f_actual, SilentLeaderBehaviour
+        )
+        result = run_scenario(config)
+        warmup = 30.0 * delta
+        gaps = result.metrics.decision_gaps(after=warmup)
+        gaps_sorted = sorted(gaps)
+        median = gaps_sorted[len(gaps_sorted) // 2] if gaps_sorted else None
+        points.append(
+            ResponsivenessPoint(
+                protocol=protocol,
+                n=n,
+                f_actual=f_actual,
+                delta=delta,
+                actual_delay=actual_delay,
+                max_gap=max(gaps) if gaps else None,
+                median_gap=median,
+                decisions=len(result.metrics.honest_decisions()),
+            )
+        )
+    return points

@@ -1,0 +1,202 @@
+"""Declarative scenario construction and execution.
+
+A :class:`ScenarioConfig` says *what* to run (protocol, system size, timing
+parameters, faults, network adversary, duration); :func:`run_scenario` builds
+the full simulated system, runs it to the requested virtual time, and
+returns a :class:`ScenarioResult` wrapping the metrics, traces and replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.adversary.behaviours import Behaviour
+from repro.adversary.corruption import CorruptionPlan
+from repro.config import ProtocolConfig
+from repro.consensus.ledger import ledgers_consistent
+from repro.consensus.replica import Replica
+from repro.crypto.signatures import PKI
+from repro.crypto.threshold import ThresholdScheme
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import ComplexitySummary, summarize_run
+from repro.pacemakers.registry import make_pacemaker_factory
+from repro.sim.events import Simulator
+from repro.sim.network import DelayModel, FixedDelay, Network, NetworkConfig
+from repro.sim.process import SimContext
+from repro.sim.tracing import TraceRecorder
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to reproduce one simulation run."""
+
+    #: Number of processors (n = 3f + 1 recommended).
+    n: int = 4
+    #: Pacemaker name (see :func:`repro.pacemakers.registry.available_pacemakers`).
+    pacemaker: str = "lumiere"
+    #: Protocol-specific pacemaker configuration object (optional).
+    pacemaker_config: Any = None
+    #: Known post-GST delay bound Delta.
+    delta: float = 1.0
+    #: Actual message delay delta (<= Delta) used by the default delay model.
+    actual_delay: float = 0.1
+    #: Global stabilisation time chosen by the adversary.
+    gst: float = 0.0
+    #: Virtual time to run for (must comfortably exceed GST).
+    duration: float = 300.0
+    #: View-completion constant x of assumption (⋄1).
+    x: int = 4
+    #: RNG seed (delay models, leader schedules default to it too).
+    seed: int = 0
+    #: Explicit corruption plan; ``None`` means no faults.
+    corruption: Optional[CorruptionPlan] = None
+    #: Network delay model; ``None`` means FixedDelay(actual_delay).
+    delay_model: Optional[DelayModel] = None
+    #: Whether to record a full protocol trace (costs memory on long runs).
+    record_trace: bool = True
+    #: Upper bound on pre-GST delays used when a chaotic pre-GST model is built.
+    pre_gst_max_delay: float = 50.0
+
+    def protocol_config(self) -> ProtocolConfig:
+        """The shared :class:`ProtocolConfig` implied by this scenario."""
+        return ProtocolConfig(n=self.n, delta=self.delta, x=self.x)
+
+    def network_config(self) -> NetworkConfig:
+        """The :class:`NetworkConfig` implied by this scenario."""
+        return NetworkConfig(
+            delta=self.delta,
+            gst=self.gst,
+            actual_delay=self.actual_delay,
+            pre_gst_max_delay=self.pre_gst_max_delay,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """The outcome of one simulated run."""
+
+    config: ScenarioConfig
+    protocol_config: ProtocolConfig
+    metrics: MetricsCollector
+    trace: TraceRecorder
+    replicas: dict[int, Replica]
+    corruption: CorruptionPlan
+    simulator: Simulator
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self, warmup_decisions: int = 5) -> ComplexitySummary:
+        """The Table-1 measures for this run."""
+        return summarize_run(
+            self.metrics,
+            protocol=self.config.pacemaker,
+            n=self.config.n,
+            f_actual=self.corruption.f_actual,
+            gst=self.config.gst,
+            delta=self.config.delta,
+            warmup_decisions=warmup_decisions,
+        )
+
+    # ------------------------------------------------------------------
+    # Safety / liveness helpers used by tests and examples
+    # ------------------------------------------------------------------
+    @property
+    def honest_replicas(self) -> list[Replica]:
+        """Replicas that were never corrupted."""
+        return [r for pid, r in sorted(self.replicas.items()) if pid in self.corruption.honest_ids]
+
+    def ledgers_are_consistent(self) -> bool:
+        """Safety: honest ledgers are pairwise prefix-consistent."""
+        return ledgers_consistent([replica.ledger for replica in self.honest_replicas])
+
+    def honest_decisions(self) -> int:
+        """Number of QCs produced by honest leaders during the run."""
+        return len(self.metrics.honest_decisions())
+
+    def committed_blocks(self) -> int:
+        """Length of the longest honest ledger."""
+        lengths = [len(replica.ledger) for replica in self.honest_replicas]
+        return max(lengths) if lengths else 0
+
+    def max_honest_view(self) -> int:
+        """The highest view any honest replica entered."""
+        views = [self.metrics.max_view_entered(r.pid) for r in self.honest_replicas]
+        return max(views) if views else -1
+
+    def describe(self) -> str:
+        """One-line run description for reports."""
+        summary = self.summary()
+        return (
+            f"{self.config.pacemaker} n={self.config.n} f_a={self.corruption.f_actual} "
+            f"decisions={summary.decisions} msgs={summary.total_messages} "
+            f"worst_latency={summary.worst_case_latency}"
+        )
+
+
+def build_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Construct the simulated system for ``config`` without running it.
+
+    Returned with virtual time still at zero; callers that need to perturb
+    initial state (e.g. desynchronise local clocks) can do so before calling
+    ``result.simulator.run(...)`` themselves.  Most callers should use
+    :func:`run_scenario`.
+    """
+    protocol_config = config.protocol_config()
+    corruption = config.corruption or CorruptionPlan.none(protocol_config)
+    if corruption.config.n != protocol_config.n:
+        raise ConfigurationError("corruption plan was built for a different system size")
+
+    simulator = Simulator(seed=config.seed)
+    network = Network(
+        simulator,
+        config.network_config(),
+        delay_model=config.delay_model or FixedDelay(config.actual_delay),
+    )
+    trace = TraceRecorder(enabled=config.record_trace)
+    ctx = SimContext(sim=simulator, network=network, trace=trace)
+
+    metrics = MetricsCollector()
+    metrics.set_honest(corruption.honest_ids)
+    metrics.attach_network(network)
+
+    pki, signing_keys = PKI.setup(protocol_config.processor_ids)
+    scheme = ThresholdScheme(pki)
+
+    replicas: dict[int, Replica] = {}
+    for pid in protocol_config.processor_ids:
+        factory = make_pacemaker_factory(
+            config.pacemaker, protocol_config, config.pacemaker_config
+        )
+        replicas[pid] = Replica(
+            pid=pid,
+            ctx=ctx,
+            config=protocol_config,
+            pki=pki,
+            signing_key=signing_keys[pid],
+            scheme=scheme,
+            pacemaker_factory=factory,
+            metrics=metrics,
+            behaviour=corruption.behaviour_for(pid),
+        )
+
+    return ScenarioResult(
+        config=config,
+        protocol_config=protocol_config,
+        metrics=metrics,
+        trace=trace,
+        replicas=replicas,
+        corruption=corruption,
+        simulator=simulator,
+    )
+
+
+def run_scenario(config: ScenarioConfig, max_events: Optional[int] = None) -> ScenarioResult:
+    """Build and run a scenario to ``config.duration`` of virtual time."""
+    result = build_scenario(config)
+    for replica in result.replicas.values():
+        replica.start()
+    result.simulator.run(until=config.duration, max_events=max_events)
+    return result

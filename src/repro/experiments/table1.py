@@ -1,0 +1,216 @@
+"""Regeneration of Table 1: the four complexity measures across protocols.
+
+The paper's Table 1 is asymptotic; we regenerate it *empirically* by running
+each protocol in the simulator under the scenarios the bounds are about and
+reporting the measured counts.  Two sweeps are provided:
+
+* :func:`worst_case_complexity_sweep` — worst-case communication and latency
+  after GST, as a function of ``n``, under maximal faults and pre-GST chaos
+  (rows 1 and 3 of Table 1);
+* :func:`eventual_complexity_sweep` — steady-state (post-warmup) per-decision
+  communication and latency as a function of the number of actual faults
+  ``f_a`` (rows 2 and 4 of Table 1).
+
+:func:`table1_rows` combines both into the table printed by
+``benchmarks/bench_table1_*.py`` and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.adversary.attacks import spread_corruption, worst_case_clock_dispersion_model
+from repro.adversary.behaviours import SilentLeaderBehaviour
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+#: Protocols included in the Table-1 comparison, in the paper's column order.
+TABLE1_PROTOCOLS: tuple[str, ...] = ("cogsworth", "lp22", "fever", "lumiere")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured cell group of Table 1 (one protocol at one system size / fault level)."""
+
+    protocol: str
+    n: int
+    f_actual: int
+    worst_case_communication: Optional[int]
+    worst_case_latency: Optional[float]
+    eventual_communication: Optional[int]
+    eventual_latency: Optional[float]
+    decisions: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f_a": self.f_actual,
+            "worst_comm": self.worst_case_communication,
+            "worst_latency": self.worst_case_latency,
+            "eventual_comm": self.eventual_communication,
+            "eventual_latency": self.eventual_latency,
+            "decisions": self.decisions,
+        }
+
+
+def _run(
+    protocol: str,
+    n: int,
+    f_actual: int,
+    *,
+    gst: float,
+    duration: float,
+    delta: float,
+    actual_delay: float,
+    seed: int,
+    chaotic_pre_gst: bool,
+    warmup_decisions: int = 5,
+) -> Table1Row:
+    """Run one cell of the table and extract the four measures."""
+    config = ScenarioConfig(
+        n=n,
+        pacemaker=protocol,
+        delta=delta,
+        actual_delay=actual_delay,
+        gst=gst,
+        duration=duration,
+        seed=seed,
+        record_trace=False,
+    )
+    protocol_config = config.protocol_config()
+    config.corruption = spread_corruption(protocol_config, f_actual, SilentLeaderBehaviour)
+    if chaotic_pre_gst:
+        config.delay_model = worst_case_clock_dispersion_model(
+            protocol_config, actual_delay, pre_gst_max_delay=gst if gst > 0 else None
+        )
+    result = run_scenario(config)
+    summary = result.summary(warmup_decisions=warmup_decisions)
+    return Table1Row(
+        protocol=protocol,
+        n=n,
+        f_actual=f_actual,
+        worst_case_communication=summary.worst_case_communication,
+        worst_case_latency=summary.worst_case_latency,
+        eventual_communication=summary.eventual_communication,
+        eventual_latency=summary.eventual_latency,
+        decisions=summary.decisions,
+    )
+
+
+def worst_case_complexity_sweep(
+    protocols: Sequence[str] = TABLE1_PROTOCOLS,
+    sizes: Iterable[int] = (4, 7, 13, 19),
+    *,
+    delta: float = 1.0,
+    actual_delay: float = 0.1,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Rows 1 & 3 of Table 1: worst case after GST, maximal faults, pre-GST chaos.
+
+    The run duration scales with ``n`` because the worst-case latency of the
+    epoch-based protocols is Theta(n * Delta).
+    """
+    rows = []
+    for n in sizes:
+        f = (n - 1) // 3
+        gst = 20.0 * delta
+        duration = gst + 400.0 * delta + 60.0 * n * delta
+        for protocol in protocols:
+            rows.append(
+                _run(
+                    protocol,
+                    n,
+                    f,
+                    gst=gst,
+                    duration=duration,
+                    delta=delta,
+                    actual_delay=actual_delay,
+                    seed=seed,
+                    chaotic_pre_gst=True,
+                )
+            )
+    return rows
+
+
+def eventual_complexity_sweep(
+    protocols: Sequence[str] = TABLE1_PROTOCOLS,
+    n: int = 13,
+    fault_counts: Optional[Iterable[int]] = None,
+    *,
+    delta: float = 1.0,
+    actual_delay: float = 0.1,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Rows 2 & 4 of Table 1: steady-state cost per decision as ``f_a`` grows.
+
+    GST is zero (the network is synchronous throughout) so the measurement
+    isolates the steady state; faults are silent leaders spread across the
+    id space.
+    """
+    f_max = (n - 1) // 3
+    if fault_counts is None:
+        fault_counts = range(0, f_max + 1)
+    rows = []
+    for f_actual in fault_counts:
+        duration = 600.0 * delta + 80.0 * n * delta
+        for protocol in protocols:
+            rows.append(
+                _run(
+                    protocol,
+                    n,
+                    f_actual,
+                    gst=0.0,
+                    duration=duration,
+                    delta=delta,
+                    actual_delay=actual_delay,
+                    seed=seed,
+                    chaotic_pre_gst=False,
+                )
+            )
+    return rows
+
+
+def table1_rows(
+    *,
+    sizes: Iterable[int] = (4, 7, 13),
+    steady_state_n: int = 13,
+    delta: float = 1.0,
+    actual_delay: float = 0.1,
+    seed: int = 0,
+) -> dict[str, list[Table1Row]]:
+    """Both sweeps, keyed by which half of the table they regenerate."""
+    return {
+        "worst_case": worst_case_complexity_sweep(
+            sizes=sizes, delta=delta, actual_delay=actual_delay, seed=seed
+        ),
+        "eventual": eventual_complexity_sweep(
+            n=steady_state_n, delta=delta, actual_delay=actual_delay, seed=seed
+        ),
+    }
+
+
+def format_rows(rows: Sequence[Table1Row]) -> str:
+    """Render rows as an aligned text table for reports and bench output."""
+    header = (
+        f"{'protocol':<14} {'n':>4} {'f_a':>4} {'worst_comm':>11} {'worst_lat':>10} "
+        f"{'event_comm':>11} {'event_lat':>10} {'decisions':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.protocol:<14} {row.n:>4} {row.f_actual:>4} "
+            f"{_fmt(row.worst_case_communication):>11} {_fmt(row.worst_case_latency):>10} "
+            f"{_fmt(row.eventual_communication):>11} {_fmt(row.eventual_latency):>10} "
+            f"{row.decisions:>10}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,19 @@
+"""Measurement of the quantities the paper's Table 1 is stated in.
+
+The collector records, with virtual timestamps, every message sent by an
+*honest* processor (the paper's complexity measures only count messages of
+correct processors), every QC produced, every view entry, every commit, and
+every heavy epoch synchronisation.  The summary helpers then compute the
+paper's four measures: worst-case communication / latency after GST, and
+their "eventual" (steady-state) counterparts.
+"""
+
+from repro.metrics.collector import DecisionRecord, MetricsCollector
+from repro.metrics.summary import ComplexitySummary, summarize_run
+
+__all__ = [
+    "ComplexitySummary",
+    "DecisionRecord",
+    "MetricsCollector",
+    "summarize_run",
+]

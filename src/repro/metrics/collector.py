@@ -1,0 +1,212 @@
+"""Run-time metrics collection.
+
+The collector is attached to the network (to observe sends) and is called by
+replicas when QCs form, views are entered, blocks commit, or heavy epoch
+synchronisations happen.  It never influences the protocols — it only
+observes.
+
+The paper's complexity measures (Section 2):
+
+* ``W_T`` — the number of messages sent by correct processors between time
+  ``T >= GST`` and ``t*_T``, the first time after ``T`` at which an honest
+  leader produces a QC for its view.
+* worst-case communication complexity — ``W_{GST + Delta}``,
+* eventual worst-case communication complexity — ``limsup_{T -> inf} W_T``,
+* worst-case latency — ``t*_GST - GST``,
+* eventual worst-case latency — ``limsup_{T -> inf} (t*_T - T)``.
+
+In a finite run we approximate the limsup by the maximum over all decision
+gaps after a configurable warm-up.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.network import Envelope
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One QC produced by a leader for its own view."""
+
+    time: float
+    view: int
+    leader: int
+    leader_honest: bool
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One message sent by an honest processor (self-deliveries excluded)."""
+
+    time: float
+    sender: int
+    recipient: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One block commit observed at one replica."""
+
+    time: float
+    pid: int
+    view: int
+    block_id: str
+
+
+class MetricsCollector:
+    """Collects message, decision, view-entry, commit and epoch-sync records."""
+
+    def __init__(self) -> None:
+        self.honest_ids: set[int] = set()
+        self.messages: list[MessageRecord] = []
+        self._message_times: list[float] = []
+        self.decisions: list[DecisionRecord] = []
+        self.commits: list[CommitRecord] = []
+        self.view_entries: dict[int, list[tuple[float, int]]] = {}
+        self.epoch_syncs: list[tuple[float, int, int]] = []  # (time, pid, epoch)
+        self.qc_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_honest(self, honest_ids: Iterable[int]) -> None:
+        """Declare which processor ids are honest (never corrupted)."""
+        self.honest_ids = set(honest_ids)
+
+    def attach_network(self, network) -> None:
+        """Subscribe to the network's send events."""
+        network.send_listeners.append(self.on_send)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def on_send(self, envelope: Envelope) -> None:
+        """Record a sent message if the sender is honest and it is not a self-message."""
+        if envelope.sender not in self.honest_ids:
+            return
+        if envelope.is_self_message:
+            return
+        record = MessageRecord(
+            time=envelope.send_time,
+            sender=envelope.sender,
+            recipient=envelope.recipient,
+            kind=type(envelope.payload).__name__,
+        )
+        self.messages.append(record)
+        self._message_times.append(envelope.send_time)
+
+    def record_decision(self, time: float, view: int, leader: int) -> None:
+        """Record that ``leader`` produced a QC for its own view ``view``."""
+        self.decisions.append(
+            DecisionRecord(
+                time=time, view=view, leader=leader, leader_honest=leader in self.honest_ids
+            )
+        )
+
+    def record_qc(self) -> None:
+        """Count one QC formation (any leader)."""
+        self.qc_count += 1
+
+    def record_view_entry(self, pid: int, view: int, time: float) -> None:
+        """Record that processor ``pid`` entered ``view`` at ``time``."""
+        self.view_entries.setdefault(pid, []).append((time, view))
+
+    def record_commit(self, pid: int, view: int, block_id: str, time: float) -> None:
+        """Record a block commit at one replica."""
+        self.commits.append(CommitRecord(time=time, pid=pid, view=view, block_id=block_id))
+
+    def record_epoch_sync(self, pid: int, epoch: int, time: float) -> None:
+        """Record that ``pid`` participated in a heavy (all-to-all) epoch synchronisation."""
+        self.epoch_syncs.append((time, pid, epoch))
+
+    # ------------------------------------------------------------------
+    # Queries: messages
+    # ------------------------------------------------------------------
+    def messages_between(self, start: float, end: float) -> int:
+        """Number of honest messages sent in the half-open interval ``[start, end)``.
+
+        ``end`` may be ``float('inf')``.
+        """
+        lo = bisect.bisect_left(self._message_times, start)
+        hi = bisect.bisect_left(self._message_times, end)
+        return hi - lo
+
+    def message_kinds_between(self, start: float, end: float) -> dict[str, int]:
+        """Honest message counts per payload type in ``[start, end)``."""
+        counts: dict[str, int] = {}
+        for record in self.messages:
+            if start <= record.time < end:
+                counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    @property
+    def total_honest_messages(self) -> int:
+        """Total messages sent by honest processors during the run."""
+        return len(self.messages)
+
+    # ------------------------------------------------------------------
+    # Queries: decisions
+    # ------------------------------------------------------------------
+    def honest_decisions(self) -> list[DecisionRecord]:
+        """QCs produced by honest leaders, in time order."""
+        return [d for d in self.decisions if d.leader_honest]
+
+    def first_honest_decision_after(self, time: float) -> Optional[DecisionRecord]:
+        """The paper's ``t*_T``: the first honest-leader QC strictly after ``time``."""
+        for decision in self.decisions:
+            if decision.leader_honest and decision.time > time:
+                return decision
+        return None
+
+    def communication_after(self, time: float) -> Optional[int]:
+        """The paper's ``W_T``: honest messages between ``time`` and ``t*_time``.
+
+        Returns ``None`` when no honest-leader decision follows ``time`` in
+        the run (``t*_T`` would be infinite).
+        """
+        decision = self.first_honest_decision_after(time)
+        if decision is None:
+            return None
+        return self.messages_between(time, decision.time)
+
+    def latency_after(self, time: float) -> Optional[float]:
+        """``t*_T - T``, or ``None`` if no honest-leader decision follows ``time``."""
+        decision = self.first_honest_decision_after(time)
+        if decision is None:
+            return None
+        return decision.time - time
+
+    def decision_gaps(self, after: float = 0.0) -> list[float]:
+        """Gaps between consecutive honest-leader decisions occurring after ``after``."""
+        times = [d.time for d in self.honest_decisions() if d.time >= after]
+        return [later - earlier for earlier, later in zip(times, times[1:])]
+
+    def messages_per_gap(self, after: float = 0.0) -> list[int]:
+        """Honest message counts between consecutive honest-leader decisions after ``after``."""
+        times = [d.time for d in self.honest_decisions() if d.time >= after]
+        return [
+            self.messages_between(earlier, later) for earlier, later in zip(times, times[1:])
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries: views and epochs
+    # ------------------------------------------------------------------
+    def max_view_entered(self, pid: int) -> int:
+        """The highest view ``pid`` has entered (-1 if none recorded)."""
+        entries = self.view_entries.get(pid)
+        if not entries:
+            return -1
+        return max(view for _, view in entries)
+
+    def epoch_syncs_after(self, time: float) -> int:
+        """Number of distinct epochs for which any honest processor did a heavy sync after ``time``."""
+        return len({epoch for t, pid, epoch in self.epoch_syncs if t >= time and pid in self.honest_ids})
+
+    def commits_for(self, pid: int) -> list[CommitRecord]:
+        """All commits observed at processor ``pid``."""
+        return [c for c in self.commits if c.pid == pid]

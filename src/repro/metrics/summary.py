@@ -1,0 +1,98 @@
+"""Summaries of a run in the units the paper reports.
+
+:func:`summarize_run` turns a :class:`~repro.metrics.collector.MetricsCollector`
+into a :class:`ComplexitySummary` holding the four Table-1 measures, plus a
+few practical extras (decision throughput, heavy-sync count) used by the
+examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class ComplexitySummary:
+    """The measured analogue of one Table-1 column for one run."""
+
+    protocol: str
+    n: int
+    f_actual: int
+    gst: float
+    delta: float
+    #: W_{GST+Delta}: honest messages from GST+Delta to the first honest-leader QC after it.
+    worst_case_communication: Optional[int]
+    #: t*_GST - GST.
+    worst_case_latency: Optional[float]
+    #: max over post-warmup decision gaps of honest messages per gap.
+    eventual_communication: Optional[int]
+    #: max over post-warmup decision gaps of elapsed time per gap.
+    eventual_latency: Optional[float]
+    #: number of honest-leader decisions in the run.
+    decisions: int
+    #: distinct epochs heavy-synced after the warm-up point.
+    heavy_syncs_after_warmup: int
+    #: total honest messages in the run.
+    total_messages: int
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict form, convenient for tabular reports."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f_actual": self.f_actual,
+            "worst_comm": self.worst_case_communication,
+            "worst_latency": self.worst_case_latency,
+            "eventual_comm": self.eventual_communication,
+            "eventual_latency": self.eventual_latency,
+            "decisions": self.decisions,
+            "heavy_syncs": self.heavy_syncs_after_warmup,
+            "total_messages": self.total_messages,
+        }
+
+
+def summarize_run(
+    metrics: MetricsCollector,
+    protocol: str,
+    n: int,
+    f_actual: int,
+    gst: float,
+    delta: float,
+    warmup_decisions: int = 5,
+) -> ComplexitySummary:
+    """Compute the Table-1 measures for one finished run.
+
+    ``warmup_decisions`` controls where "eventually" starts: the eventual
+    measures are maxima over the decision gaps that begin at or after the
+    ``warmup_decisions``-th honest-leader decision following GST.  The paper
+    shows Lumiere reaches its steady state within expected O(n*Delta) of GST,
+    i.e. within a small constant number of decisions.
+    """
+    honest_decisions = [d for d in metrics.honest_decisions() if d.time >= gst]
+    if len(honest_decisions) > warmup_decisions:
+        warmup_time = honest_decisions[warmup_decisions].time
+    elif honest_decisions:
+        warmup_time = honest_decisions[-1].time
+    else:
+        warmup_time = gst
+
+    gaps = metrics.decision_gaps(after=warmup_time)
+    per_gap_messages = metrics.messages_per_gap(after=warmup_time)
+
+    return ComplexitySummary(
+        protocol=protocol,
+        n=n,
+        f_actual=f_actual,
+        gst=gst,
+        delta=delta,
+        worst_case_communication=metrics.communication_after(gst + delta),
+        worst_case_latency=metrics.latency_after(gst),
+        eventual_communication=max(per_gap_messages) if per_gap_messages else None,
+        eventual_latency=max(gaps) if gaps else None,
+        decisions=len(honest_decisions),
+        heavy_syncs_after_warmup=metrics.epoch_syncs_after(warmup_time),
+        total_messages=metrics.total_honest_messages,
+    )

@@ -1,0 +1,37 @@
+"""View-synchronisation protocols ("pacemakers").
+
+Every pacemaker implements the :class:`~repro.pacemakers.base.Pacemaker`
+interface so that the consensus substrate, the adversary and the experiment
+harness treat them interchangeably.  The paper's own protocol lives in
+:mod:`repro.core`; this package contains the baselines from Table 1 plus a
+classical exponential-backoff pacemaker used as a control.
+"""
+
+from repro.pacemakers.base import Pacemaker, PacemakerMessage, RoundRobinLeaderMixin
+from repro.pacemakers.backoff import ExponentialBackoffConfig, ExponentialBackoffPacemaker
+from repro.pacemakers.cogsworth import CogsworthConfig, CogsworthPacemaker
+from repro.pacemakers.fever import FeverConfig, FeverPacemaker
+from repro.pacemakers.lp22 import LP22Config, LP22Pacemaker
+from repro.pacemakers.naor_keidar import NaorKeidarConfig, NaorKeidarPacemaker
+from repro.pacemakers.raresync import RareSyncConfig, RareSyncPacemaker
+from repro.pacemakers.registry import available_pacemakers, make_pacemaker_factory
+
+__all__ = [
+    "CogsworthConfig",
+    "CogsworthPacemaker",
+    "ExponentialBackoffConfig",
+    "ExponentialBackoffPacemaker",
+    "FeverConfig",
+    "FeverPacemaker",
+    "LP22Config",
+    "LP22Pacemaker",
+    "NaorKeidarConfig",
+    "NaorKeidarPacemaker",
+    "Pacemaker",
+    "PacemakerMessage",
+    "RareSyncConfig",
+    "RareSyncPacemaker",
+    "RoundRobinLeaderMixin",
+    "available_pacemakers",
+    "make_pacemaker_factory",
+]

@@ -1,0 +1,45 @@
+"""Discrete-event simulation of the partial synchrony model.
+
+The simulator provides virtual time, an event queue, a network whose message
+delays are chosen by a pluggable :class:`~repro.sim.network.DelayModel`
+subject to the partial synchrony constraint (every message sent at time ``t``
+arrives by ``max(GST, t) + Delta``), per-processor local clocks with the
+pause/bump semantics the paper's protocols rely on, and a ``Process`` base
+class that protocol replicas derive from.
+"""
+
+from repro.sim.events import EventHandle, Simulator
+from repro.sim.clock import LocalClock, LocalTimer
+from repro.sim.network import (
+    AdversarialDelay,
+    DelayModel,
+    Envelope,
+    FixedDelay,
+    Network,
+    NetworkConfig,
+    PreGSTChaos,
+    TargetedDelay,
+    UniformDelay,
+)
+from repro.sim.process import Process, SimContext
+from repro.sim.tracing import TraceEvent, TraceRecorder
+
+__all__ = [
+    "AdversarialDelay",
+    "DelayModel",
+    "Envelope",
+    "EventHandle",
+    "FixedDelay",
+    "LocalClock",
+    "LocalTimer",
+    "Network",
+    "NetworkConfig",
+    "PreGSTChaos",
+    "Process",
+    "SimContext",
+    "Simulator",
+    "TargetedDelay",
+    "TraceEvent",
+    "TraceRecorder",
+    "UniformDelay",
+]

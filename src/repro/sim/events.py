@@ -1,0 +1,198 @@
+"""Event queue and virtual-time simulator kernel.
+
+The kernel is intentionally small: a priority queue of ``(time, sequence)``
+ordered events, each carrying a callback.  Everything else in the library
+(network delivery, local-clock timers, protocol timeouts) is built on top of
+:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+
+Determinism: ties on time are broken by insertion order, and all randomness
+in the library flows through :attr:`Simulator.rng`, which is seeded at
+construction.  Two runs with the same configuration and seed produce
+identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    """Internal heap entry. Ordering is by (time, seq) only."""
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle returned by the scheduling methods, used to cancel an event."""
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled and not cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"EventHandle(t={self.time:.3f}, {state}, label={self.label!r})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for :attr:`rng`.  All random choices made by delay models,
+        leader-schedule shuffles, workloads etc. must use this generator so
+        that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[_QueuedEvent] = []
+        self._events_processed = 0
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for run budgets)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}, which is before now={self._now!r}"
+            )
+        handle = EventHandle(time, callback, args, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, _QueuedEvent(time, self._seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.
+
+        Returns ``True`` if an event was executed and ``False`` if the queue
+        is empty.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue is empty, ``until`` is reached, or
+        ``max_events`` further events have been processed.
+
+        When ``until`` is given, the simulator finishes with ``now`` equal to
+        ``until`` even if the queue drained earlier, so callers can treat it
+        as "advance virtual time to this point".
+        """
+        budget = max_events if max_events is not None else None
+        while self._queue:
+            if budget is not None and budget <= 0:
+                return
+            next_time = self._peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = max(self._now, until)
+                return
+            self.step()
+            if budget is not None:
+                budget -= 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _peek_time(self) -> Optional[float]:
+        """Return the time of the next non-cancelled event, if any."""
+        while self._queue:
+            entry = self._queue[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return entry.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,339 @@
+"""Partial-synchrony network model.
+
+The network enforces the defining constraint of the partial synchrony model
+of Dwork, Lynch and Stockmeyer: a message sent at time ``t`` is delivered by
+``max(GST, t) + Delta``.  Within that constraint, the adversary (modelled by
+a :class:`DelayModel`) chooses the actual delivery time of every message.
+
+Messages are never lost.  A processor sending a message "to all processors"
+includes itself, and the copy to itself is delivered immediately, matching
+the convention stated in Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.events import Simulator
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Timing parameters of the partial synchrony model.
+
+    Attributes
+    ----------
+    delta:
+        The known bound ``Delta`` on message delay after GST.
+    gst:
+        The Global Stabilisation Time chosen by the adversary.  Unknown to
+        the protocols (they never read it); known to the simulator.
+    actual_delay:
+        The actual (unknown to the protocol) bound ``delta`` on message
+        delay after GST, used by the default delay models.  Must satisfy
+        ``0 < actual_delay <= delta``.
+    pre_gst_max_delay:
+        Upper bound used by delay models for messages sent before GST.  The
+        model itself caps delivery at ``GST + delta`` anyway; this bound only
+        shapes how chaotic the pre-GST period looks.
+    """
+
+    delta: float = 1.0
+    gst: float = 0.0
+    actual_delay: float = 0.1
+    pre_gst_max_delay: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.actual_delay <= 0 or self.actual_delay > self.delta:
+            raise ConfigurationError(
+                f"actual_delay must be in (0, delta={self.delta}], got {self.actual_delay}"
+            )
+        if self.gst < 0:
+            raise ConfigurationError(f"gst must be non-negative, got {self.gst}")
+        if self.pre_gst_max_delay < 0:
+            raise ConfigurationError(
+                f"pre_gst_max_delay must be non-negative, got {self.pre_gst_max_delay}"
+            )
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single point-to-point message in flight."""
+
+    msg_id: int
+    sender: int
+    recipient: int
+    payload: Any
+    send_time: float
+    deliver_time: float
+
+    @property
+    def is_self_message(self) -> bool:
+        """Whether the message was sent by a processor to itself."""
+        return self.sender == self.recipient
+
+
+class DelayModel(ABC):
+    """Strategy choosing the delay of each message, i.e. the network adversary."""
+
+    @abstractmethod
+    def propose_delay(self, envelope_info: "PendingSend", sim: Simulator) -> float:
+        """Return the proposed delay for the message described by ``envelope_info``.
+
+        The returned value is advisory: the network clamps delivery to the
+        partial-synchrony deadline ``max(GST, send_time) + Delta``.
+        """
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class PendingSend:
+    """The information a :class:`DelayModel` may base its decision on."""
+
+    sender: int
+    recipient: int
+    payload: Any
+    send_time: float
+    after_gst: bool
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``delay`` time units (the synchronous case)."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        return self.delay
+
+    def describe(self) -> str:
+        return f"FixedDelay({self.delay})"
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]`` using the simulator's RNG."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(f"invalid uniform delay range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        return sim.rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"UniformDelay({self.low}, {self.high})"
+
+
+class PreGSTChaos(DelayModel):
+    """Adversarial asynchrony before GST, a benign model after GST.
+
+    Before GST, every message is delayed by a value drawn uniformly from
+    ``[0, pre_gst_max_delay]`` (the network clamp still guarantees delivery by
+    ``GST + Delta``).  After GST the wrapped ``post_model`` decides.
+    """
+
+    def __init__(self, post_model: DelayModel, pre_gst_max_delay: float = 50.0) -> None:
+        if pre_gst_max_delay < 0:
+            raise ConfigurationError("pre_gst_max_delay must be non-negative")
+        self.post_model = post_model
+        self.pre_gst_max_delay = pre_gst_max_delay
+
+    def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        if envelope_info.after_gst:
+            return self.post_model.propose_delay(envelope_info, sim)
+        return sim.rng.uniform(0.0, self.pre_gst_max_delay)
+
+    def describe(self) -> str:
+        return f"PreGSTChaos(pre_max={self.pre_gst_max_delay}, post={self.post_model.describe()})"
+
+
+class AdversarialDelay(DelayModel):
+    """Delegates the delay decision to an arbitrary callable.
+
+    The callable receives ``(pending_send, sim)`` and returns a delay.  Used
+    by attack strategies that need full control of the schedule.
+    """
+
+    def __init__(self, fn: Callable[[PendingSend, Simulator], float], name: str = "custom") -> None:
+        self.fn = fn
+        self.name = name
+
+    def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        return self.fn(envelope_info, sim)
+
+    def describe(self) -> str:
+        return f"AdversarialDelay({self.name})"
+
+
+class TargetedDelay(DelayModel):
+    """Delay messages touching a set of target processors; others use a base model.
+
+    This captures attacks where the adversary slows down traffic to or from
+    specific honest processors (e.g. to maximise the honest clock gap)
+    without violating the post-GST bound.
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        targets: Iterable[int],
+        target_delay: float,
+        direction: str = "both",
+    ) -> None:
+        if direction not in ("to", "from", "both"):
+            raise ConfigurationError(f"direction must be 'to', 'from' or 'both', got {direction!r}")
+        self.base = base
+        self.targets = frozenset(targets)
+        self.target_delay = target_delay
+        self.direction = direction
+
+    def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        hit = False
+        if self.direction in ("to", "both") and envelope_info.recipient in self.targets:
+            hit = True
+        if self.direction in ("from", "both") and envelope_info.sender in self.targets:
+            hit = True
+        if hit:
+            return self.target_delay
+        return self.base.propose_delay(envelope_info, sim)
+
+    def describe(self) -> str:
+        return (
+            f"TargetedDelay(targets={sorted(self.targets)}, delay={self.target_delay}, "
+            f"direction={self.direction}, base={self.base.describe()})"
+        )
+
+
+class Network:
+    """Delivers messages between registered processes under partial synchrony.
+
+    The network exposes two observation hooks used by the metrics layer:
+
+    * ``send_listeners`` — called with each :class:`Envelope` when it is sent;
+    * ``deliver_listeners`` — called with each :class:`Envelope` when it is
+      delivered to its recipient.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig,
+        delay_model: Optional[DelayModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.delay_model = delay_model or FixedDelay(config.actual_delay)
+        self._processes: dict[int, Any] = {}
+        self._msg_ids = itertools.count()
+        self.send_listeners: list[Callable[[Envelope], None]] = []
+        self.deliver_listeners: list[Callable[[Envelope], None]] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, process: Any) -> None:
+        """Register a process (anything with ``pid`` and ``deliver(payload, sender)``)."""
+        pid = process.pid
+        if pid in self._processes:
+            raise SimulationError(f"process id {pid} registered twice")
+        self._processes[pid] = process
+
+    @property
+    def process_ids(self) -> list[int]:
+        """Sorted ids of all registered processes."""
+        return sorted(self._processes)
+
+    def process(self, pid: int) -> Any:
+        """Return the registered process with id ``pid``."""
+        return self._processes[pid]
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, sender: int, recipient: int, payload: Any) -> Envelope:
+        """Send ``payload`` from ``sender`` to ``recipient``.
+
+        Returns the :class:`Envelope`, whose ``deliver_time`` records when the
+        message will arrive.
+        """
+        if recipient not in self._processes:
+            raise SimulationError(f"unknown recipient {recipient}")
+        now = self.sim.now
+        deliver_time = self._delivery_time(sender, recipient, payload, now)
+        envelope = Envelope(
+            msg_id=next(self._msg_ids),
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            send_time=now,
+            deliver_time=deliver_time,
+        )
+        self.messages_sent += 1
+        for listener in self.send_listeners:
+            listener(envelope)
+        self.sim.schedule_at(deliver_time, self._deliver, envelope, label="deliver")
+        return envelope
+
+    def broadcast(
+        self, sender: int, payload: Any, include_self: bool = True
+    ) -> list[Envelope]:
+        """Send ``payload`` from ``sender`` to every registered process."""
+        envelopes = []
+        for pid in self.process_ids:
+            if pid == sender and not include_self:
+                continue
+            envelopes.append(self.send(sender, pid, payload))
+        return envelopes
+
+    def multicast(self, sender: int, recipients: Sequence[int], payload: Any) -> list[Envelope]:
+        """Send ``payload`` from ``sender`` to each processor in ``recipients``."""
+        return [self.send(sender, pid, payload) for pid in recipients]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _delivery_time(self, sender: int, recipient: int, payload: Any, now: float) -> float:
+        if sender == recipient:
+            # Self-messages are received immediately (paper, Section 4).
+            return now
+        after_gst = now >= self.config.gst
+        pending = PendingSend(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            send_time=now,
+            after_gst=after_gst,
+        )
+        raw_delay = max(0.0, self.delay_model.propose_delay(pending, self.sim))
+        deadline = max(self.config.gst, now) + self.config.delta
+        return min(now + raw_delay, deadline)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self.messages_delivered += 1
+        for listener in self.deliver_listeners:
+            listener(envelope)
+        process = self._processes.get(envelope.recipient)
+        if process is None:  # pragma: no cover - defensive; processes never unregister
+            return
+        process.deliver(envelope.payload, envelope.sender)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(n={len(self._processes)}, sent={self.messages_sent}, "
+            f"delivered={self.messages_delivered}, model={self.delay_model.describe()})"
+        )

@@ -1,0 +1,122 @@
+"""Process abstraction: the unit the simulator schedules and the network addresses.
+
+A :class:`Process` owns a :class:`~repro.sim.clock.LocalClock` and receives
+messages from the :class:`~repro.sim.network.Network`.  Protocol replicas
+(see :mod:`repro.consensus.replica`) derive from it, as do purpose-built
+Byzantine processes in :mod:`repro.adversary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.clock import LocalClock
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.tracing import TraceRecorder
+
+
+@dataclass
+class SimContext:
+    """Shared handles a process needs: simulator, network and (optional) trace."""
+
+    sim: Simulator
+    network: Network
+    trace: Optional[TraceRecorder] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+
+class Process:
+    """Base class for all simulated processors.
+
+    Subclasses implement :meth:`on_message` (and usually :meth:`start`).
+    A process that has crashed stops receiving messages and sending anything.
+    """
+
+    def __init__(self, pid: int, ctx: SimContext) -> None:
+        self.pid = pid
+        self.ctx = ctx
+        self.clock = LocalClock(ctx.sim)
+        self.crashed = False
+        self.byzantine = False
+        ctx.network.register(self)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this process runs in."""
+        return self.ctx.sim
+
+    @property
+    def network(self) -> Network:
+        """The network this process is attached to."""
+        return self.ctx.network
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.ctx.sim.now
+
+    @property
+    def local_time(self) -> float:
+        """Current local-clock value ``lc(p)``."""
+        return self.clock.read()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Called once when the simulation begins.  Default: no-op."""
+
+    def crash(self) -> None:
+        """Stop the process: it will neither send nor react to messages."""
+        self.crashed = True
+        self.trace("crash")
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, recipient: int, payload: Any) -> None:
+        """Send ``payload`` to ``recipient`` unless crashed."""
+        if self.crashed:
+            return
+        self.network.send(self.pid, recipient, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every processor, including self, unless crashed."""
+        if self.crashed:
+            return
+        self.network.broadcast(self.pid, payload)
+
+    def deliver(self, payload: Any, sender: int) -> None:
+        """Entry point used by the network; dispatches to :meth:`on_message`."""
+        if self.crashed:
+            return
+        self.on_message(payload, sender)
+
+    def on_message(self, payload: Any, sender: int) -> None:
+        """Handle an incoming message.  Subclasses override."""
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def trace(self, kind: str, **details: Any) -> None:
+        """Record a trace event if a recorder is attached."""
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(self.now, self.pid, kind, details)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.byzantine:
+            flags.append("byzantine")
+        if self.crashed:
+            flags.append("crashed")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"{type(self).__name__}(pid={self.pid}{suffix})"

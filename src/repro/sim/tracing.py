@@ -1,0 +1,88 @@
+"""Structured execution traces.
+
+Traces are optional: protocol code calls ``self.trace(kind, **details)`` and
+pays nothing when no recorder is attached.  When attached, the recorder keeps
+an append-only list of :class:`TraceEvent` entries that tests, examples and
+the Figure-1 harness inspect to reconstruct timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    pid: int
+    kind: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail_str = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[t={self.time:9.3f}] p{self.pid:<3} {self.kind:<24} {detail_str}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` entries during a simulation run."""
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, pid: int, kind: str, details: dict[str, Any]) -> None:
+        """Append an event (no-op if disabled or over the size limit)."""
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            return
+        self.events.append(TraceEvent(time=time, pid=pid, kind=kind, details=dict(details)))
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events with the given kind, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def for_pid(self, pid: int) -> list[TraceEvent]:
+        """All events recorded by processor ``pid``, in time order."""
+        return [event for event in self.events if event.pid == pid]
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """All events matching an arbitrary predicate."""
+        return [event for event in self.events if predicate(event)]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        """Earliest event of the given kind, or ``None``."""
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """Latest event of the given kind, or ``None``."""
+        result = None
+        for event in self.events:
+            if event.kind == kind:
+                result = event
+        return result
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def timeline(self, kinds: Optional[set[str]] = None) -> str:
+        """Render the trace (optionally filtered by kind) as a printable timeline."""
+        lines = []
+        for event in self.events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+            lines.append(str(event))
+        return "\n".join(lines)

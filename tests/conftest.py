@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.crypto.signatures import PKI
+from repro.crypto.threshold import ThresholdScheme
+from repro.sim.events import Simulator
+from repro.sim.network import FixedDelay, Network, NetworkConfig
+from repro.sim.process import SimContext
+from repro.sim.tracing import TraceRecorder
+
+
+@pytest.fixture
+def protocol_config() -> ProtocolConfig:
+    """A small n=4 (f=1) system with Delta=1."""
+    return ProtocolConfig(n=4, delta=1.0, x=4)
+
+
+@pytest.fixture
+def larger_config() -> ProtocolConfig:
+    """An n=7 (f=2) system."""
+    return ProtocolConfig(n=7, delta=1.0, x=4)
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(simulator: Simulator) -> Network:
+    return Network(simulator, NetworkConfig(delta=1.0, gst=0.0, actual_delay=0.1), FixedDelay(0.1))
+
+
+@pytest.fixture
+def ctx(simulator: Simulator, network: Network) -> SimContext:
+    return SimContext(sim=simulator, network=network, trace=TraceRecorder())
+
+
+@pytest.fixture
+def pki_and_keys(protocol_config: ProtocolConfig):
+    pki, signing_keys = PKI.setup(protocol_config.processor_ids)
+    return pki, signing_keys
+
+
+@pytest.fixture
+def scheme(pki_and_keys) -> ThresholdScheme:
+    pki, _ = pki_and_keys
+    return ThresholdScheme(pki)

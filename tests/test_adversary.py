@@ -1,0 +1,145 @@
+"""Unit tests for corruption plans, behaviours and attack helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.attacks import (
+    epoch_tail_corruption,
+    lp22_tail_attack_plan,
+    spread_corruption,
+    worst_case_clock_dispersion_model,
+)
+from repro.adversary.behaviours import (
+    Behaviour,
+    CrashBehaviour,
+    EquivocatingBehaviour,
+    HonestBehaviour,
+    MuteViewSyncBehaviour,
+    SilentLeaderBehaviour,
+    SlowLeaderBehaviour,
+    WithholdQCBehaviour,
+)
+from repro.adversary.corruption import CorruptionPlan
+from repro.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.sim.network import PreGSTChaos
+
+
+def test_honest_behaviour_never_deviates():
+    behaviour = HonestBehaviour()
+    assert not behaviour.is_byzantine
+    assert not behaviour.suppress_proposal(1)
+    assert not behaviour.suppress_vote(1)
+    assert not behaviour.suppress_qc_broadcast(1)
+    assert not behaviour.suppress_view_sync("view", 1)
+    assert behaviour.proposal_delay(1) == 0.0
+    assert behaviour.crash_time() is None
+
+
+def test_silent_leader_suppresses_proposals_and_qcs():
+    behaviour = SilentLeaderBehaviour()
+    assert behaviour.is_byzantine
+    assert behaviour.suppress_proposal(3)
+    assert behaviour.suppress_qc_broadcast(3)
+    assert not behaviour.suppress_vote(3)
+
+
+def test_slow_leader_delays_by_configured_amount():
+    behaviour = SlowLeaderBehaviour(delay=2.5)
+    assert behaviour.proposal_delay(0) == 2.5
+    assert behaviour.qc_broadcast_delay(0) == 2.5
+
+
+def test_crash_behaviour_reports_crash_time():
+    behaviour = CrashBehaviour(at_time=12.0)
+    assert behaviour.crash_time() == 12.0
+    assert behaviour.is_byzantine
+
+
+def test_other_behaviour_flags():
+    assert EquivocatingBehaviour().equivocate(1)
+    assert MuteViewSyncBehaviour().suppress_view_sync("epoch_view", 5)
+    assert WithholdQCBehaviour().suppress_qc_broadcast(2)
+
+
+def test_corruption_plan_respects_resilience_bound():
+    config = ProtocolConfig(n=4)
+    with pytest.raises(ConfigurationError):
+        CorruptionPlan.uniform(config, [0, 1], SilentLeaderBehaviour)
+
+
+def test_corruption_plan_rejects_unknown_ids():
+    config = ProtocolConfig(n=4)
+    with pytest.raises(ConfigurationError):
+        CorruptionPlan(config=config, behaviours={9: SilentLeaderBehaviour()})
+
+
+def test_corruption_plan_queries():
+    config = ProtocolConfig(n=7)
+    plan = CorruptionPlan.uniform(config, [1, 4], SilentLeaderBehaviour)
+    assert plan.f_actual == 2
+    assert plan.corrupted_ids == {1, 4}
+    assert plan.honest_ids == {0, 2, 3, 5, 6}
+    assert isinstance(plan.behaviour_for(1), SilentLeaderBehaviour)
+    assert isinstance(plan.behaviour_for(0), HonestBehaviour)
+    assert plan.describe() == {1: "SilentLeaderBehaviour", 4: "SilentLeaderBehaviour"}
+
+
+def test_none_plan_has_no_faults():
+    config = ProtocolConfig(n=4)
+    plan = CorruptionPlan.none(config)
+    assert plan.f_actual == 0
+    assert plan.honest_ids == set(range(4))
+
+
+def test_spread_corruption_respects_f_actual_and_avoid():
+    config = ProtocolConfig(n=13)
+    plan = spread_corruption(config, 3, SilentLeaderBehaviour, avoid={0})
+    assert plan.f_actual == 3
+    assert 0 not in plan.corrupted_ids
+    assert len(plan.corrupted_ids) == 3
+
+
+def test_spread_corruption_zero_faults():
+    config = ProtocolConfig(n=7)
+    assert spread_corruption(config, 0).f_actual == 0
+
+
+def test_spread_corruption_caps_at_f():
+    config = ProtocolConfig(n=7)
+    with pytest.raises(ConfigurationError):
+        spread_corruption(config, 5)
+
+
+def test_epoch_tail_corruption_targets_last_view_leader():
+    config = ProtocolConfig(n=7)
+    epoch_length = config.f + 1
+    plan = epoch_tail_corruption(config, epoch_length=epoch_length, epoch_index=1)
+    expected = (2 * epoch_length - 1) % config.n
+    assert plan.corrupted_ids == {expected}
+
+
+def test_lp22_tail_attack_uses_single_fault():
+    config = ProtocolConfig(n=13)
+    plan = lp22_tail_attack_plan(config)
+    assert plan.f_actual == 1
+
+
+def test_worst_case_dispersion_model_is_chaotic_before_gst():
+    config = ProtocolConfig(n=4)
+    model = worst_case_clock_dispersion_model(config, actual_delay=0.1)
+    assert isinstance(model, PreGSTChaos)
+    assert model.pre_gst_max_delay > config.delta
+
+
+def test_custom_behaviour_subclass_hooks_are_picked_up():
+    class OnlyViewFive(Behaviour):
+        is_byzantine = True
+
+        def suppress_vote(self, view: int) -> bool:
+            return view == 5
+
+    behaviour = OnlyViewFive()
+    assert behaviour.suppress_vote(5)
+    assert not behaviour.suppress_vote(6)

@@ -1,0 +1,184 @@
+"""Integration tests for the baseline pacemakers (LP22, Fever, Cogsworth,
+NK20, RareSync, exponential backoff) and the comparative behaviours that
+Table 1 and Figure 1 rest on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.attacks import spread_corruption, worst_case_clock_dispersion_model
+from repro.adversary.behaviours import SilentLeaderBehaviour
+from repro.adversary.corruption import CorruptionPlan
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.pacemakers.registry import available_pacemakers, make_pacemaker_factory
+from repro.config import ProtocolConfig
+from repro.errors import ConfigurationError
+
+
+def scenario(pacemaker, n=4, duration=250.0, **kwargs) -> ScenarioConfig:
+    defaults = dict(
+        n=n,
+        pacemaker=pacemaker,
+        delta=1.0,
+        actual_delay=0.1,
+        gst=0.0,
+        duration=duration,
+        record_trace=False,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+ALL_PACEMAKERS = available_pacemakers()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_lists_all_protocols():
+    assert set(ALL_PACEMAKERS) == {
+        "lumiere",
+        "basic-lumiere",
+        "lp22",
+        "fever",
+        "cogsworth",
+        "naor-keidar",
+        "raresync",
+        "backoff",
+    }
+
+
+def test_registry_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        make_pacemaker_factory("not-a-protocol", ProtocolConfig(n=4))
+
+
+def test_registry_accepts_underscore_aliases():
+    factory = make_pacemaker_factory("naor_keidar", ProtocolConfig(n=4))
+    assert callable(factory)
+
+
+# ----------------------------------------------------------------------
+# Liveness and safety for every protocol (fault-free and with one fault)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pacemaker", ALL_PACEMAKERS)
+def test_fault_free_liveness_and_safety(pacemaker):
+    result = run_scenario(scenario(pacemaker, duration=150.0))
+    assert result.honest_decisions() > 10, f"{pacemaker} made too little progress"
+    assert result.ledgers_are_consistent()
+    assert result.committed_blocks() > 5
+
+
+@pytest.mark.parametrize("pacemaker", ALL_PACEMAKERS)
+def test_liveness_and_safety_with_one_silent_leader(pacemaker):
+    config = scenario(pacemaker, duration=400.0)
+    config.corruption = spread_corruption(config.protocol_config(), 1, SilentLeaderBehaviour)
+    result = run_scenario(config)
+    assert result.honest_decisions() > 10, f"{pacemaker} stalled with one fault"
+    assert result.ledgers_are_consistent()
+
+
+@pytest.mark.parametrize("pacemaker", ["lumiere", "lp22", "fever", "cogsworth", "backoff"])
+def test_recovery_after_gst(pacemaker):
+    config = scenario(pacemaker, n=4, duration=500.0, gst=40.0, seed=2)
+    protocol_config = config.protocol_config()
+    config.corruption = spread_corruption(protocol_config, 1, SilentLeaderBehaviour)
+    config.delay_model = worst_case_clock_dispersion_model(
+        protocol_config, config.actual_delay, pre_gst_max_delay=40.0
+    )
+    result = run_scenario(config)
+    post_gst = [d for d in result.metrics.honest_decisions() if d.time > config.gst]
+    assert len(post_gst) > 5, f"{pacemaker} did not recover after GST"
+    assert result.ledgers_are_consistent()
+
+
+@pytest.mark.parametrize("pacemaker", ALL_PACEMAKERS)
+def test_view_monotonicity(pacemaker):
+    result = run_scenario(scenario(pacemaker, duration=120.0))
+    for pid in result.corruption.honest_ids:
+        views = [view for _, view in result.metrics.view_entries.get(pid, [])]
+        assert views == sorted(views), f"{pacemaker} violated view monotonicity at p{pid}"
+
+
+# ----------------------------------------------------------------------
+# Protocol-specific behaviours
+# ----------------------------------------------------------------------
+def test_lp22_heavy_syncs_every_epoch():
+    result = run_scenario(scenario("lp22", duration=200.0))
+    # Epochs are f+1 = 2 views; every epoch boundary requires a heavy sync.
+    assert result.metrics.epoch_syncs_after(0.0) >= 10
+
+
+def test_lp22_epoch_boundary_wait_versus_lumiere_responsiveness():
+    """The Figure-1 contrast in miniature: LP22's largest fault-free decision gap
+    spans the epoch-boundary clock wait; Lumiere's stays at network speed."""
+    lp22 = run_scenario(scenario("lp22", duration=200.0))
+    lumiere = run_scenario(scenario("lumiere", duration=200.0))
+    lp22_gaps = lp22.metrics.decision_gaps(after=30.0)
+    lumiere_gaps = lumiere.metrics.decision_gaps(after=30.0)
+    assert max(lp22_gaps) > 3 * max(lumiere_gaps)
+
+
+def test_fever_runs_at_network_speed_without_faults():
+    result = run_scenario(scenario("fever", duration=150.0))
+    gaps = result.metrics.decision_gaps(after=20.0)
+    assert max(gaps) <= 6 * result.config.actual_delay + 1e-6
+
+
+def test_fever_worst_gap_scales_with_faults_not_n():
+    config = scenario("fever", n=7, duration=500.0)
+    config.corruption = spread_corruption(config.protocol_config(), 1, SilentLeaderBehaviour)
+    result = run_scenario(config)
+    gamma = 2 * (result.protocol_config.x + 1) * result.config.delta
+    gaps = result.metrics.decision_gaps(after=60.0)
+    assert max(gaps) <= 2 * gamma + 4 * result.config.delta
+
+
+def test_raresync_is_not_optimistically_responsive():
+    """RareSync's decision gaps track Gamma even when the network is fast."""
+    result = run_scenario(scenario("raresync", duration=150.0))
+    gaps = result.metrics.decision_gaps(after=20.0)
+    gamma = (result.protocol_config.x + 1) * result.config.delta
+    assert min(gaps) >= gamma / 2
+
+
+def test_backoff_pacemaker_uses_quadratic_view_changes():
+    """Every view change in the backoff pacemaker is an all-to-all broadcast."""
+    config = scenario("backoff", duration=300.0)
+    config.corruption = spread_corruption(config.protocol_config(), 1, SilentLeaderBehaviour)
+    result = run_scenario(config)
+    kinds = result.metrics.message_kinds_between(0.0, float("inf"))
+    assert kinds.get("ViewChangeMessage", 0) > 0
+
+
+def test_cogsworth_relay_certificates_bring_processors_into_views():
+    config = scenario("cogsworth", duration=300.0)
+    config.corruption = spread_corruption(config.protocol_config(), 1, SilentLeaderBehaviour)
+    result = run_scenario(config)
+    kinds = result.metrics.message_kinds_between(0.0, float("inf"))
+    assert kinds.get("WishMessage", 0) > 0
+    assert kinds.get("RelayCertificate", 0) > 0
+
+
+def test_naor_keidar_contacts_more_relays_per_wish_than_cogsworth():
+    n = 7
+    results = {}
+    for name in ("cogsworth", "naor-keidar"):
+        config = scenario(name, n=n, duration=300.0)
+        config.corruption = CorruptionPlan.uniform(
+            config.protocol_config(), [1, 4], SilentLeaderBehaviour
+        )
+        results[name] = run_scenario(config)
+    cogs = results["cogsworth"].metrics.message_kinds_between(0.0, float("inf"))
+    nk = results["naor-keidar"].metrics.message_kinds_between(0.0, float("inf"))
+    assert nk.get("WishMessage", 0) > cogs.get("WishMessage", 0)
+
+
+def test_lumiere_eventual_communication_beats_lp22_per_decision():
+    """Row 2 of Table 1 in miniature: steady-state messages per decision."""
+    lp22 = run_scenario(scenario("lp22", n=7, duration=400.0))
+    lumiere = run_scenario(scenario("lumiere", n=7, duration=400.0))
+    lp22_eventual = lp22.summary().eventual_communication
+    lumiere_eventual = lumiere.summary().eventual_communication
+    assert lp22_eventual is not None and lumiere_eventual is not None
+    assert lumiere_eventual < lp22_eventual

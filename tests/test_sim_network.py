@@ -1,0 +1,198 @@
+"""Unit tests for the partial-synchrony network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.events import Simulator
+from repro.sim.network import (
+    AdversarialDelay,
+    Envelope,
+    FixedDelay,
+    Network,
+    NetworkConfig,
+    PreGSTChaos,
+    TargetedDelay,
+    UniformDelay,
+)
+
+
+class Sink:
+    """Minimal process: records (payload, sender, time) deliveries."""
+
+    def __init__(self, pid: int, sim: Simulator) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.received: list[tuple[object, int, float]] = []
+
+    def deliver(self, payload, sender):
+        self.received.append((payload, sender, self.sim.now))
+
+
+def build(n=3, gst=0.0, delta=1.0, actual=0.1, model=None):
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delta=delta, gst=gst, actual_delay=actual), model)
+    sinks = [Sink(i, sim) for i in range(n)]
+    for sink in sinks:
+        net.register(sink)
+    return sim, net, sinks
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+def test_config_rejects_nonpositive_delta():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(delta=0.0)
+
+
+def test_config_rejects_actual_delay_above_delta():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(delta=1.0, actual_delay=2.0)
+
+
+def test_config_rejects_negative_gst():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(delta=1.0, gst=-1.0)
+
+
+def test_fixed_delay_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        FixedDelay(-0.5)
+
+
+def test_uniform_delay_rejects_bad_range():
+    with pytest.raises(ConfigurationError):
+        UniformDelay(2.0, 1.0)
+
+
+def test_targeted_delay_rejects_bad_direction():
+    with pytest.raises(ConfigurationError):
+        TargetedDelay(FixedDelay(0.1), targets=[0], target_delay=1.0, direction="sideways")
+
+
+# ----------------------------------------------------------------------
+# Delivery semantics
+# ----------------------------------------------------------------------
+def test_point_to_point_delivery_with_fixed_delay():
+    sim, net, sinks = build(model=FixedDelay(0.25))
+    net.send(0, 1, "hello")
+    sim.run()
+    assert sinks[1].received == [("hello", 0, pytest.approx(0.25))]
+
+
+def test_self_message_delivered_immediately():
+    sim, net, sinks = build(model=FixedDelay(0.9))
+    net.send(2, 2, "note-to-self")
+    sim.run()
+    assert sinks[2].received[0][2] == pytest.approx(0.0)
+
+
+def test_broadcast_reaches_everyone_including_sender():
+    sim, net, sinks = build(n=4)
+    net.broadcast(1, "ping")
+    sim.run()
+    for sink in sinks:
+        assert [payload for payload, _, _ in sink.received] == ["ping"]
+
+
+def test_broadcast_can_exclude_sender():
+    sim, net, sinks = build(n=3)
+    net.broadcast(0, "ping", include_self=False)
+    sim.run()
+    assert sinks[0].received == []
+    assert len(sinks[1].received) == 1
+
+
+def test_multicast_targets_only_listed_recipients():
+    sim, net, sinks = build(n=4)
+    net.multicast(0, [1, 3], "sel")
+    sim.run()
+    assert len(sinks[1].received) == 1
+    assert len(sinks[3].received) == 1
+    assert sinks[2].received == []
+
+
+def test_unknown_recipient_rejected():
+    sim, net, sinks = build()
+    with pytest.raises(SimulationError):
+        net.send(0, 99, "nobody")
+
+
+def test_duplicate_registration_rejected():
+    sim, net, sinks = build()
+    with pytest.raises(SimulationError):
+        net.register(sinks[0])
+
+
+# ----------------------------------------------------------------------
+# The partial synchrony guarantee
+# ----------------------------------------------------------------------
+def test_post_gst_messages_respect_delta_bound():
+    slow = AdversarialDelay(lambda info, sim: 100.0, name="always-slow")
+    sim, net, sinks = build(gst=0.0, delta=1.0, model=slow)
+    net.send(0, 1, "bounded")
+    sim.run()
+    assert sinks[1].received[0][2] == pytest.approx(1.0)
+
+
+def test_pre_gst_messages_delivered_by_gst_plus_delta():
+    slow = AdversarialDelay(lambda info, sim: 1000.0, name="always-slow")
+    sim, net, sinks = build(gst=50.0, delta=2.0, model=slow)
+    net.send(0, 1, "eventually")
+    sim.run()
+    assert sinks[1].received[0][2] == pytest.approx(52.0)
+
+
+def test_pre_gst_chaos_uses_post_model_after_gst():
+    model = PreGSTChaos(FixedDelay(0.1), pre_gst_max_delay=40.0)
+    sim, net, sinks = build(gst=10.0, delta=1.0, model=model)
+    sim.run(until=10.0)
+    net.send(0, 1, "after-gst")
+    sim.run()
+    assert sinks[1].received[0][2] == pytest.approx(10.1)
+
+
+def test_targeted_delay_slows_only_targets():
+    model = TargetedDelay(FixedDelay(0.1), targets=[2], target_delay=0.9, direction="to")
+    sim, net, sinks = build(n=3, model=model)
+    net.send(0, 1, "fast")
+    net.send(0, 2, "slow")
+    sim.run()
+    assert sinks[1].received[0][2] == pytest.approx(0.1)
+    assert sinks[2].received[0][2] == pytest.approx(0.9)
+
+
+def test_uniform_delay_stays_within_range():
+    sim, net, sinks = build(n=2, model=UniformDelay(0.2, 0.4), delta=1.0)
+    for _ in range(20):
+        net.send(0, 1, "x")
+    sim.run()
+    for _, _, arrival in sinks[1].received:
+        assert 0.2 - 1e-9 <= arrival <= 0.4 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Observation hooks
+# ----------------------------------------------------------------------
+def test_send_and_deliver_listeners_fire():
+    sim, net, sinks = build()
+    sent: list[Envelope] = []
+    delivered: list[Envelope] = []
+    net.send_listeners.append(sent.append)
+    net.deliver_listeners.append(delivered.append)
+    net.send(0, 1, "observed")
+    sim.run()
+    assert len(sent) == 1 and len(delivered) == 1
+    assert sent[0].payload == "observed"
+    assert net.messages_sent == 1
+    assert net.messages_delivered == 1
+
+
+def test_envelope_identifies_self_messages():
+    sim, net, sinks = build()
+    envelope = net.send(1, 1, "me")
+    assert envelope.is_self_message
+    envelope = net.send(1, 2, "you")
+    assert not envelope.is_self_message

@@ -14,17 +14,26 @@ timelines; the assertions check the shape: LP22's worst stall grows with
 
 from __future__ import annotations
 
-from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure1 import figure1_sweep
 
 
-def test_figure1_single_silent_leader(benchmark, bench_sizes):
+def test_figure1_single_silent_leader(
+    benchmark, bench_sizes, campaign_backend, campaign_workers, campaign_cache
+):
     small, large = bench_sizes[0], bench_sizes[-1]
 
     def run():
-        return {
-            n: run_figure1(n=n, delta=1.0, actual_delay=0.05, duration=300.0 + 120.0 * n, seed=0)
-            for n in (small, large)
-        }
+        # duration=None scales each cell's run with n (300 + 120 n).
+        return figure1_sweep(
+            (small, large),
+            delta=1.0,
+            actual_delay=0.05,
+            duration=None,
+            seed=0,
+            backend=campaign_backend,
+            workers=campaign_workers,
+            cache=campaign_cache,
+        )
 
     figures = benchmark.pedantic(run, iterations=1, rounds=1)
     print()

@@ -9,18 +9,26 @@ a warm-up period for each protocol.
 
 from __future__ import annotations
 
-from repro.experiments.steady_state import heavy_sync_count
+from repro.experiments.steady_state import heavy_sync_sweep
 
 
-def test_heavy_sync_elimination(benchmark):
+def test_heavy_sync_elimination(benchmark, campaign_backend, campaign_workers, campaign_cache):
     protocols = ("lumiere", "basic-lumiere", "lp22", "raresync")
 
     def run():
-        return {
-            name: heavy_sync_count(name, n=7, f_actual=0, delta=1.0, actual_delay=0.05,
-                                   duration=1200.0, warmup=150.0, seed=0)
-            for name in protocols
-        }
+        return heavy_sync_sweep(
+            protocols,
+            n=7,
+            f_actual=0,
+            delta=1.0,
+            actual_delay=0.05,
+            duration=1200.0,
+            warmup=150.0,
+            seed=0,
+            backend=campaign_backend,
+            workers=campaign_workers,
+            cache=campaign_cache,
+        )
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     print()

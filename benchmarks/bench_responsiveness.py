@@ -11,7 +11,9 @@ from __future__ import annotations
 from repro.experiments.responsiveness import responsiveness_sweep
 
 
-def test_smooth_optimistic_responsiveness(benchmark, steady_state_n):
+def test_smooth_optimistic_responsiveness(
+    benchmark, steady_state_n, campaign_backend, campaign_workers, campaign_cache
+):
     n = steady_state_n
     f_max = (n - 1) // 3
     fault_counts = list(range(0, f_max + 1))
@@ -26,6 +28,9 @@ def test_smooth_optimistic_responsiveness(benchmark, steady_state_n):
             delta=delta,
             actual_delay=actual_delay,
             seed=2,
+            backend=campaign_backend,
+            workers=campaign_workers,
+            cache=campaign_cache,
         )
 
     points = benchmark.pedantic(run, iterations=1, rounds=1)

@@ -15,7 +15,9 @@ from __future__ import annotations
 from repro.experiments.table1 import TABLE1_PROTOCOLS, eventual_complexity_sweep, format_rows
 
 
-def test_eventual_latency_per_decision(benchmark, steady_state_n):
+def test_eventual_latency_per_decision(
+    benchmark, steady_state_n, campaign_backend, campaign_workers, campaign_cache
+):
     n = steady_state_n
     f_max = (n - 1) // 3
     fault_counts = sorted({0, 1, f_max})
@@ -28,6 +30,9 @@ def test_eventual_latency_per_decision(benchmark, steady_state_n):
             delta=1.0,
             actual_delay=0.1,
             seed=5,
+            backend=campaign_backend,
+            workers=campaign_workers,
+            cache=campaign_cache,
         )
 
     rows = benchmark.pedantic(run, iterations=1, rounds=1)

@@ -12,10 +12,13 @@ from __future__ import annotations
 from repro.experiments.table1 import TABLE1_PROTOCOLS, format_rows, worst_case_complexity_sweep
 
 
-def test_worst_case_latency_scaling(benchmark, bench_sizes):
+def test_worst_case_latency_scaling(
+    benchmark, bench_sizes, campaign_backend, campaign_workers, campaign_cache
+):
     def run():
         return worst_case_complexity_sweep(
-            protocols=TABLE1_PROTOCOLS, sizes=bench_sizes, delta=1.0, actual_delay=0.1, seed=3
+            protocols=TABLE1_PROTOCOLS, sizes=bench_sizes, delta=1.0, actual_delay=0.1, seed=3,
+            backend=campaign_backend, workers=campaign_workers, cache=campaign_cache,
         )
 
     rows = benchmark.pedantic(run, iterations=1, rounds=1)

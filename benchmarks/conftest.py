@@ -1,17 +1,28 @@
 """Shared configuration for the benchmark suite.
 
 Every benchmark regenerates one artefact of the paper (a Table-1 row group,
-Figure 1, or a Theorem-1.1 property) by running the simulator and reporting
-the measured quantities both on stdout and in ``benchmark.extra_info`` (so
-they land in ``--benchmark-json`` output).
+Figure 1, or a Theorem-1.1 property) by running a campaign over the
+simulator and reporting the measured quantities both on stdout and in
+``benchmark.extra_info`` (so they land in ``--benchmark-json`` output).
 
-Set ``REPRO_BENCH_QUICK=1`` to shrink system sizes and run durations by
-roughly 4x; the scaling *shapes* survive, the absolute counts get noisier.
+Environment knobs:
+
+* ``REPRO_BENCH_QUICK=1`` — shrink system sizes and run durations by
+  roughly 4x; the scaling *shapes* survive, the absolute counts get noisier.
+* ``REPRO_BENCH_BACKEND=process`` — execute campaign cells on a process
+  pool instead of serially (the default).  On a multi-core machine this
+  speeds the sweep-heavy benchmarks up by roughly the core count.
+* ``REPRO_BENCH_WORKERS=N`` — worker count for the process backend
+  (defaults to the executor's own default, i.e. the CPU count).
+* ``REPRO_BENCH_CACHE=DIR`` — reuse campaign results across benchmark runs
+  via the on-disk result cache rooted at ``DIR``.  Leave unset (the
+  default) to measure real simulation work.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 import pytest
 
@@ -31,3 +42,22 @@ def bench_sizes() -> tuple[int, ...]:
 def steady_state_n() -> int:
     """System size used by the steady-state (eventual) benchmarks."""
     return 7
+
+
+@pytest.fixture(scope="session")
+def campaign_backend() -> str:
+    """Campaign executor backend used by every benchmark sweep."""
+    return os.environ.get("REPRO_BENCH_BACKEND", "serial")
+
+
+@pytest.fixture(scope="session")
+def campaign_workers() -> Optional[int]:
+    """Worker count for the process backend (``None`` = executor default)."""
+    value = os.environ.get("REPRO_BENCH_WORKERS", "")
+    return int(value) if value else None
+
+
+@pytest.fixture(scope="session")
+def campaign_cache() -> Optional[str]:
+    """Result-cache directory shared by the benchmarks (``None`` = no cache)."""
+    return os.environ.get("REPRO_BENCH_CACHE") or None

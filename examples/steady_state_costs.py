@@ -6,38 +6,42 @@ long after GST, and reports the per-decision communication and latency that
 the "Eventual Worst-case" rows of Table 1 are about — plus the number of
 heavy (all-to-all) epoch synchronisations each protocol kept performing.
 
+The sweep is expressed as a declarative :class:`repro.runner.Campaign`: a
+cartesian grid (fault level x protocol) expanded into seeded scenario runs.
+Set ``REPRO_BACKEND=process`` to execute the grid on a process pool, and
+``REPRO_CACHE=.repro-cache`` to skip cells already computed by an earlier
+invocation.
+
 Run with:  python examples/steady_state_costs.py
 """
 
 from __future__ import annotations
 
-from repro.adversary import SilentLeaderBehaviour, spread_corruption
-from repro.experiments import ScenarioConfig, run_scenario
+import os
+
+from repro.experiments.scenario import build_spread_fault_config
+from repro.runner import Campaign, Sweep
 
 PROTOCOLS = ("lumiere", "basic-lumiere", "lp22", "fever", "cogsworth")
 N = 7
 DURATION = 900.0
 
 
-def run_one(name: str, f_actual: int):
-    config = ScenarioConfig(
-        n=N,
-        pacemaker=name,
-        delta=1.0,
-        actual_delay=0.1,
-        gst=0.0,
-        duration=DURATION,
-        record_trace=False,
-    )
-    config.corruption = spread_corruption(config.protocol_config(), f_actual, SilentLeaderBehaviour)
-    result = run_scenario(config)
-    summary = result.summary()
-    return summary
-
-
 def main() -> None:
     f_max = (N - 1) // 3
+    campaign = Campaign(
+        name="steady-state-costs",
+        build=build_spread_fault_config,  # the shared steady-state cell shape
+        sweeps=(Sweep("f_actual", (0, f_max)), Sweep("protocol", PROTOCOLS)),
+        fixed={"n": N, "duration": DURATION, "delta": 1.0, "actual_delay": 0.1, "seed": 0},
+    )
+    result = campaign.run(
+        backend=os.environ.get("REPRO_BACKEND", "serial"),
+        cache=os.environ.get("REPRO_CACHE") or None,
+    )
+
     print(f"Steady-state per-decision costs, n={N}, Delta=1, delta=0.1, duration={DURATION}")
+    print(result.describe())
     header = (
         f"{'protocol':<15} {'f_a':>4} {'decisions':>10} {'worst msgs/gap':>15} "
         f"{'worst gap':>10} {'heavy syncs':>12}"
@@ -46,7 +50,7 @@ def main() -> None:
     print("-" * len(header))
     for f_actual in (0, f_max):
         for name in PROTOCOLS:
-            summary = run_one(name, f_actual)
+            summary = result.one(f_actual=f_actual, protocol=name).summary
             print(
                 f"{name:<15} {f_actual:>4} {summary.decisions:>10} "
                 f"{str(summary.eventual_communication):>15} "

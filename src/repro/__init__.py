@@ -8,7 +8,9 @@ the paper's contribution (:mod:`repro.core`), the baseline pacemakers it is
 compared against (:mod:`repro.pacemakers`), adversary models
 (:mod:`repro.adversary`), metrics (:mod:`repro.metrics`) and the experiment
 harness that regenerates the paper's table and figure
-(:mod:`repro.experiments`).
+(:mod:`repro.experiments`), and the campaign runner that executes
+declarative sweeps over it — serially or on a process pool, with an
+on-disk result cache (:mod:`repro.runner`).
 
 Quickstart::
 
@@ -16,6 +18,14 @@ Quickstart::
 
     result = run_scenario(ScenarioConfig(n=4, pacemaker="lumiere", duration=200.0))
     print(result.summary())
+
+Sweeps::
+
+    from repro.runner import Campaign, Sweep
+
+    campaign = Campaign(name="sweep", build=my_module.build_config,
+                        sweeps=(Sweep("pacemaker", ("lumiere", "lp22")),))
+    records = campaign.run(backend="process", cache=".repro-cache").records
 """
 
 from repro.version import __version__

@@ -3,10 +3,13 @@
 :func:`run_scenario` builds a complete simulated deployment (simulator,
 network, keys, replicas with the chosen pacemaker, corruption plan, metrics)
 from a declarative :class:`ScenarioConfig`, runs it, and returns a
-:class:`ScenarioResult` with the measured quantities.
+:class:`ScenarioResult` with the measured quantities.  It is the single
+low-level entry point; sweeps over it are expressed as
+:class:`~repro.runner.Campaign` grids (see :mod:`repro.runner`) with
+:meth:`~repro.runner.Campaign.run` as the single high-level one.
 
-The ``table1``, ``figure1`` and ``responsiveness`` modules build on it to
-regenerate the corresponding artefacts from the paper.
+The ``table1``, ``figure1``, ``responsiveness`` and ``steady_state`` modules
+build campaigns that regenerate the corresponding artefacts from the paper.
 """
 
 from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
@@ -16,9 +19,9 @@ from repro.experiments.table1 import (
     table1_rows,
     worst_case_complexity_sweep,
 )
-from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure1 import Figure1Result, figure1_sweep, run_figure1
 from repro.experiments.responsiveness import ResponsivenessPoint, responsiveness_sweep
-from repro.experiments.steady_state import HeavySyncResult, heavy_sync_count
+from repro.experiments.steady_state import HeavySyncResult, heavy_sync_count, heavy_sync_sweep
 
 __all__ = [
     "Figure1Result",
@@ -28,7 +31,9 @@ __all__ = [
     "ScenarioResult",
     "Table1Row",
     "eventual_complexity_sweep",
+    "figure1_sweep",
     "heavy_sync_count",
+    "heavy_sync_sweep",
     "responsiveness_sweep",
     "run_figure1",
     "run_scenario",

@@ -7,18 +7,19 @@ is ``O(Delta * f_a + delta)``: with no faults it runs at network speed
 number of ``Delta`` per decision gap.
 
 :func:`responsiveness_sweep` measures the steady-state worst decision gap as
-a function of ``f_a`` for a protocol, with ``delta`` much smaller than
-``Delta`` so the two regimes are clearly separated.
+a function of ``f_a`` for a protocol — one campaign grid over the fault
+counts — with ``delta`` much smaller than ``Delta`` so the two regimes are
+clearly separated.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Union
 
-from repro.adversary.attacks import spread_corruption
-from repro.adversary.behaviours import SilentLeaderBehaviour
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import build_spread_fault_config
+from repro.runner.cache import ResultCache
+from repro.runner.campaign import Campaign, Sweep
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,9 @@ def responsiveness_sweep(
     actual_delay: float = 0.02,
     seed: int = 0,
     duration: Optional[float] = None,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
 ) -> list[ResponsivenessPoint]:
     """Measure the steady-state decision gap for increasing ``f_a``."""
     f_max = (n - 1) // 3
@@ -59,36 +63,35 @@ def responsiveness_sweep(
         fault_counts = range(0, f_max + 1)
     if duration is None:
         duration = 400.0 * delta + 60.0 * n * delta
+    campaign = Campaign(
+        name="responsiveness",
+        build=build_spread_fault_config,
+        sweeps=(Sweep("f_actual", fault_counts),),
+        fixed={
+            "protocol": protocol,
+            "n": n,
+            "delta": delta,
+            "actual_delay": actual_delay,
+            "duration": duration,
+            "seed": seed,
+        },
+    )
+    result = campaign.run(backend=backend, workers=workers, cache=cache)
+
+    warmup = 30.0 * delta
     points = []
-    for f_actual in fault_counts:
-        config = ScenarioConfig(
-            n=n,
-            pacemaker=protocol,
-            delta=delta,
-            actual_delay=actual_delay,
-            gst=0.0,
-            duration=duration,
-            seed=seed,
-            record_trace=False,
-        )
-        config.corruption = spread_corruption(
-            config.protocol_config(), f_actual, SilentLeaderBehaviour
-        )
-        result = run_scenario(config)
-        warmup = 30.0 * delta
-        gaps = result.metrics.decision_gaps(after=warmup)
-        gaps_sorted = sorted(gaps)
-        median = gaps_sorted[len(gaps_sorted) // 2] if gaps_sorted else None
+    for record in result:
+        metrics = record.metrics
         points.append(
             ResponsivenessPoint(
                 protocol=protocol,
                 n=n,
-                f_actual=f_actual,
+                f_actual=record.params["f_actual"],
                 delta=delta,
                 actual_delay=actual_delay,
-                max_gap=max(gaps) if gaps else None,
-                median_gap=median,
-                decisions=len(result.metrics.honest_decisions()),
+                max_gap=metrics.max_gap(after=warmup),
+                median_gap=metrics.median_gap(after=warmup),
+                decisions=record.decisions,
             )
         )
     return points

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.adversary.behaviours import Behaviour
+from repro.adversary.attacks import spread_corruption
+from repro.adversary.behaviours import Behaviour, SilentLeaderBehaviour
 from repro.adversary.corruption import CorruptionPlan
 from repro.config import ProtocolConfig
 from repro.consensus.ledger import ledgers_consistent
@@ -20,7 +21,12 @@ from repro.crypto.signatures import PKI
 from repro.crypto.threshold import ThresholdScheme
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.summary import ComplexitySummary, summarize_run
+from repro.metrics.summary import (
+    ComplexitySummary,
+    RunMetrics,
+    extract_run_metrics,
+    summarize_run,
+)
 from repro.pacemakers.registry import make_pacemaker_factory
 from repro.sim.events import Simulator
 from repro.sim.network import DelayModel, FixedDelay, Network, NetworkConfig
@@ -100,6 +106,16 @@ class ScenarioResult:
             warmup_decisions=warmup_decisions,
         )
 
+    def run_metrics(self) -> RunMetrics:
+        """The picklable derived-metrics residue of this run.
+
+        This is the "lightweight half" of a :class:`ScenarioResult`: what the
+        campaign runner ships between processes and stores in its cache.  The
+        live half (replicas, traces, the simulator) stays in this object and
+        never crosses a process boundary.
+        """
+        return extract_run_metrics(self.metrics)
+
     # ------------------------------------------------------------------
     # Safety / liveness helpers used by tests and examples
     # ------------------------------------------------------------------
@@ -134,6 +150,31 @@ class ScenarioResult:
             f"decisions={summary.decisions} msgs={summary.total_messages} "
             f"worst_latency={summary.worst_case_latency}"
         )
+
+
+def build_spread_fault_config(params: dict[str, Any]) -> ScenarioConfig:
+    """Module-level campaign builder for the steady-state cell shape shared
+    by the responsiveness, heavy-sync and Table-1 eventual sweeps (and the
+    examples): GST = 0, no trace, and ``f_actual`` silent leaders spread
+    evenly over the id space.
+
+    ``params`` must carry ``n``, ``protocol``, ``delta``, ``actual_delay``,
+    ``duration``, ``seed`` and ``f_actual``.
+    """
+    config = ScenarioConfig(
+        n=params["n"],
+        pacemaker=params["protocol"],
+        delta=params["delta"],
+        actual_delay=params["actual_delay"],
+        gst=0.0,
+        duration=params["duration"],
+        seed=params["seed"],
+        record_trace=False,
+    )
+    config.corruption = spread_corruption(
+        config.protocol_config(), params["f_actual"], SilentLeaderBehaviour
+    )
+    return config
 
 
 def build_scenario(config: ScenarioConfig) -> ScenarioResult:

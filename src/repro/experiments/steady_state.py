@@ -5,20 +5,22 @@ criterion, processors stop performing heavy (all-to-all) epoch
 synchronisations — so only an expected constant number of them happen after
 GST, and the eventual worst-case communication drops to ``O(n f_a + n)``.
 
-:func:`heavy_sync_count` runs a protocol for many epochs and counts how many
-distinct epochs any honest processor heavy-synced, before and after the
-steady state is reached, for Lumiere and for the epoch-based baselines that
-never stop (Basic Lumiere, LP22, RareSync).
+:func:`heavy_sync_sweep` runs a set of protocols for many epochs — as one
+campaign grid — and counts how many distinct epochs any honest processor
+heavy-synced, before and after the steady state is reached, for Lumiere and
+for the epoch-based baselines that never stop (Basic Lumiere, LP22,
+RareSync).  :func:`heavy_sync_count` is the single-protocol wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Union
 
-from repro.adversary.attacks import spread_corruption
-from repro.adversary.behaviours import SilentLeaderBehaviour
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import build_spread_fault_config
+from repro.runner.cache import ResultCache
+from repro.runner.campaign import Campaign, Sweep
+from repro.runner.record import RunRecord
 
 
 @dataclass(frozen=True)
@@ -33,10 +35,69 @@ class HeavySyncResult:
     total_heavy_syncs: int
     #: Distinct epochs heavy-synced after the warmup point.
     heavy_syncs_after_warmup: int
-    #: Honest-leader decisions over the run (to show the run made progress).
+    #: Honest-leader decisions after the warmup (to show the run made progress).
     decisions: int
     #: Honest messages per decision over the post-warmup period (average).
     avg_messages_per_decision: Optional[float]
+
+
+def _result_from_record(record: RunRecord, warmup: float) -> HeavySyncResult:
+    metrics = record.metrics
+    per_gap = metrics.messages_per_gap(after=warmup)
+    return HeavySyncResult(
+        protocol=record.params["protocol"],
+        n=record.params["n"],
+        f_actual=record.params["f_actual"],
+        duration=record.params["duration"],
+        total_heavy_syncs=metrics.epoch_syncs_after(0.0),
+        heavy_syncs_after_warmup=metrics.epoch_syncs_after(warmup),
+        decisions=len(metrics.decision_times_after(warmup)),
+        avg_messages_per_decision=sum(per_gap) / len(per_gap) if per_gap else None,
+    )
+
+
+def heavy_sync_sweep(
+    protocols: Iterable[str],
+    n: int = 7,
+    f_actual: int = 0,
+    *,
+    delta: float = 1.0,
+    actual_delay: float = 0.05,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
+) -> dict[str, HeavySyncResult]:
+    """Count heavy epoch synchronisations for each protocol, one campaign run.
+
+    ``duration``/``warmup`` default to values that scale with ``n`` so every
+    protocol passes through many epochs and well into its steady state.
+    """
+    protocols = tuple(dict.fromkeys(protocols))  # preserve order, drop duplicate cells
+    if duration is None:
+        duration = 1500.0 * delta + 100.0 * n * delta
+    if warmup is None:
+        warmup = 100.0 * delta + 20.0 * n * delta
+    campaign = Campaign(
+        name="heavy-sync",
+        build=build_spread_fault_config,
+        sweeps=(Sweep("protocol", protocols),),
+        fixed={
+            "n": n,
+            "f_actual": f_actual,
+            "delta": delta,
+            "actual_delay": actual_delay,
+            "duration": duration,
+            "seed": seed,
+        },
+    )
+    result = campaign.run(backend=backend, workers=workers, cache=cache)
+    return {
+        record.params["protocol"]: _result_from_record(record, warmup)
+        for record in result
+    }
 
 
 def heavy_sync_count(
@@ -49,37 +110,22 @@ def heavy_sync_count(
     duration: Optional[float] = None,
     warmup: Optional[float] = None,
     seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
 ) -> HeavySyncResult:
     """Count heavy epoch synchronisations for one protocol configuration."""
-    if duration is None:
-        duration = 1500.0 * delta + 100.0 * n * delta
-    if warmup is None:
-        warmup = 100.0 * delta + 20.0 * n * delta
-    config = ScenarioConfig(
-        n=n,
-        pacemaker=protocol,
-        delta=delta,
-        actual_delay=actual_delay,
-        gst=0.0,
-        duration=duration,
-        seed=seed,
-        record_trace=False,
-    )
-    config.corruption = spread_corruption(
-        config.protocol_config(), f_actual, SilentLeaderBehaviour
-    )
-    result = run_scenario(config)
-    metrics = result.metrics
-    decisions_after_warmup = [d for d in metrics.honest_decisions() if d.time >= warmup]
-    per_gap = metrics.messages_per_gap(after=warmup)
-    avg_msgs = sum(per_gap) / len(per_gap) if per_gap else None
-    return HeavySyncResult(
-        protocol=protocol,
+    results = heavy_sync_sweep(
+        (protocol,),
         n=n,
         f_actual=f_actual,
+        delta=delta,
+        actual_delay=actual_delay,
         duration=duration,
-        total_heavy_syncs=metrics.epoch_syncs_after(0.0),
-        heavy_syncs_after_warmup=metrics.epoch_syncs_after(warmup),
-        decisions=len(decisions_after_warmup),
-        avg_messages_per_decision=avg_msgs,
+        warmup=warmup,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        cache=cache,
     )
+    return results[protocol]

@@ -2,7 +2,8 @@
 
 The paper's Table 1 is asymptotic; we regenerate it *empirically* by running
 each protocol in the simulator under the scenarios the bounds are about and
-reporting the measured counts.  Two sweeps are provided:
+reporting the measured counts.  Two sweeps are provided, both expressed as
+declarative :class:`~repro.runner.Campaign` grids:
 
 * :func:`worst_case_complexity_sweep` — worst-case communication and latency
   after GST, as a function of ``n``, under maximal faults and pre-GST chaos
@@ -18,11 +19,16 @@ reporting the measured counts.  Two sweeps are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.adversary.attacks import spread_corruption, worst_case_clock_dispersion_model
 from repro.adversary.behaviours import SilentLeaderBehaviour
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import ScenarioConfig, build_spread_fault_config
+# Submodule imports (not ``repro.runner``) keep the experiments <-> runner
+# import graph acyclic; see the note in repro/runner/campaign.py.
+from repro.runner.cache import ResultCache
+from repro.runner.campaign import Campaign, Sweep
+from repro.runner.record import RunRecord
 
 
 #: Protocols included in the Table-1 comparison, in the paper's column order.
@@ -55,42 +61,60 @@ class Table1Row:
         }
 
 
-def _run(
-    protocol: str,
-    n: int,
-    f_actual: int,
-    *,
-    gst: float,
-    duration: float,
-    delta: float,
-    actual_delay: float,
-    seed: int,
-    chaotic_pre_gst: bool,
-    warmup_decisions: int = 5,
-) -> Table1Row:
-    """Run one cell of the table and extract the four measures."""
-    config = ScenarioConfig(
-        n=n,
-        pacemaker=protocol,
-        delta=delta,
-        actual_delay=actual_delay,
+def _base_config(params: dict[str, Any], *, gst: float, duration: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        n=params["n"],
+        pacemaker=params["protocol"],
+        delta=params["delta"],
+        actual_delay=params["actual_delay"],
         gst=gst,
         duration=duration,
-        seed=seed,
+        seed=params["seed"],
         record_trace=False,
     )
+
+
+def build_worst_case_config(params: dict[str, Any]) -> ScenarioConfig:
+    """Campaign cell builder for the worst-case (rows 1 & 3) sweep.
+
+    The run duration scales with ``n`` because the worst-case latency of the
+    epoch-based protocols is Theta(n * Delta); faults are maximal and the
+    pre-GST period is chaotic to maximise clock dispersion at GST.
+    """
+    n, delta = params["n"], params["delta"]
+    gst = 20.0 * delta
+    config = _base_config(params, gst=gst, duration=gst + 400.0 * delta + 60.0 * n * delta)
     protocol_config = config.protocol_config()
-    config.corruption = spread_corruption(protocol_config, f_actual, SilentLeaderBehaviour)
-    if chaotic_pre_gst:
-        config.delay_model = worst_case_clock_dispersion_model(
-            protocol_config, actual_delay, pre_gst_max_delay=gst if gst > 0 else None
-        )
-    result = run_scenario(config)
-    summary = result.summary(warmup_decisions=warmup_decisions)
+    config.corruption = spread_corruption(
+        protocol_config, (n - 1) // 3, SilentLeaderBehaviour
+    )
+    config.delay_model = worst_case_clock_dispersion_model(
+        protocol_config, params["actual_delay"], pre_gst_max_delay=gst
+    )
+    return config
+
+
+def build_eventual_config(params: dict[str, Any]) -> ScenarioConfig:
+    """Campaign cell builder for the eventual (rows 2 & 4) sweep.
+
+    GST is zero (the network is synchronous throughout) so the measurement
+    isolates the steady state; faults are silent leaders spread across the
+    id space.  The shape is the shared steady-state cell with a duration
+    that scales with ``n``.
+    """
+    n, delta = params["n"], params["delta"]
+    return build_spread_fault_config(
+        {**params, "duration": 600.0 * delta + 80.0 * n * delta}
+    )
+
+
+def row_from_record(record: RunRecord) -> Table1Row:
+    """Project one campaign record onto its Table-1 row."""
+    summary = record.summary
     return Table1Row(
-        protocol=protocol,
-        n=n,
-        f_actual=f_actual,
+        protocol=summary.protocol,
+        n=summary.n,
+        f_actual=summary.f_actual,
         worst_case_communication=summary.worst_case_communication,
         worst_case_latency=summary.worst_case_latency,
         eventual_communication=summary.eventual_communication,
@@ -106,32 +130,19 @@ def worst_case_complexity_sweep(
     delta: float = 1.0,
     actual_delay: float = 0.1,
     seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
 ) -> list[Table1Row]:
-    """Rows 1 & 3 of Table 1: worst case after GST, maximal faults, pre-GST chaos.
-
-    The run duration scales with ``n`` because the worst-case latency of the
-    epoch-based protocols is Theta(n * Delta).
-    """
-    rows = []
-    for n in sizes:
-        f = (n - 1) // 3
-        gst = 20.0 * delta
-        duration = gst + 400.0 * delta + 60.0 * n * delta
-        for protocol in protocols:
-            rows.append(
-                _run(
-                    protocol,
-                    n,
-                    f,
-                    gst=gst,
-                    duration=duration,
-                    delta=delta,
-                    actual_delay=actual_delay,
-                    seed=seed,
-                    chaotic_pre_gst=True,
-                )
-            )
-    return rows
+    """Rows 1 & 3 of Table 1: worst case after GST, maximal faults, pre-GST chaos."""
+    campaign = Campaign(
+        name="table1-worst-case",
+        build=build_worst_case_config,
+        sweeps=(Sweep("n", sizes), Sweep("protocol", protocols)),
+        fixed={"delta": delta, "actual_delay": actual_delay, "seed": seed},
+    )
+    result = campaign.run(backend=backend, workers=workers, cache=cache)
+    return [row_from_record(record) for record in result]
 
 
 def eventual_complexity_sweep(
@@ -142,34 +153,22 @@ def eventual_complexity_sweep(
     delta: float = 1.0,
     actual_delay: float = 0.1,
     seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
 ) -> list[Table1Row]:
-    """Rows 2 & 4 of Table 1: steady-state cost per decision as ``f_a`` grows.
-
-    GST is zero (the network is synchronous throughout) so the measurement
-    isolates the steady state; faults are silent leaders spread across the
-    id space.
-    """
+    """Rows 2 & 4 of Table 1: steady-state cost per decision as ``f_a`` grows."""
     f_max = (n - 1) // 3
     if fault_counts is None:
         fault_counts = range(0, f_max + 1)
-    rows = []
-    for f_actual in fault_counts:
-        duration = 600.0 * delta + 80.0 * n * delta
-        for protocol in protocols:
-            rows.append(
-                _run(
-                    protocol,
-                    n,
-                    f_actual,
-                    gst=0.0,
-                    duration=duration,
-                    delta=delta,
-                    actual_delay=actual_delay,
-                    seed=seed,
-                    chaotic_pre_gst=False,
-                )
-            )
-    return rows
+    campaign = Campaign(
+        name="table1-eventual",
+        build=build_eventual_config,
+        sweeps=(Sweep("f_actual", fault_counts), Sweep("protocol", protocols)),
+        fixed={"n": n, "delta": delta, "actual_delay": actual_delay, "seed": seed},
+    )
+    result = campaign.run(backend=backend, workers=workers, cache=cache)
+    return [row_from_record(record) for record in result]
 
 
 def table1_rows(
@@ -179,14 +178,19 @@ def table1_rows(
     delta: float = 1.0,
     actual_delay: float = 0.1,
     seed: int = 0,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
 ) -> dict[str, list[Table1Row]]:
     """Both sweeps, keyed by which half of the table they regenerate."""
     return {
         "worst_case": worst_case_complexity_sweep(
-            sizes=sizes, delta=delta, actual_delay=actual_delay, seed=seed
+            sizes=sizes, delta=delta, actual_delay=actual_delay, seed=seed,
+            backend=backend, workers=workers, cache=cache,
         ),
         "eventual": eventual_complexity_sweep(
-            n=steady_state_n, delta=delta, actual_delay=actual_delay, seed=seed
+            n=steady_state_n, delta=delta, actual_delay=actual_delay, seed=seed,
+            backend=backend, workers=workers, cache=cache,
         ),
     }
 

@@ -9,11 +9,18 @@ their "eventual" (steady-state) counterparts.
 """
 
 from repro.metrics.collector import DecisionRecord, MetricsCollector
-from repro.metrics.summary import ComplexitySummary, summarize_run
+from repro.metrics.summary import (
+    ComplexitySummary,
+    RunMetrics,
+    extract_run_metrics,
+    summarize_run,
+)
 
 __all__ = [
     "ComplexitySummary",
     "DecisionRecord",
     "MetricsCollector",
+    "RunMetrics",
+    "extract_run_metrics",
     "summarize_run",
 ]

@@ -4,6 +4,12 @@
 into a :class:`ComplexitySummary` holding the four Table-1 measures, plus a
 few practical extras (decision throughput, heavy-sync count) used by the
 examples and benchmarks.
+
+:class:`RunMetrics` is the *serializable* residue of a run: the derived
+time-series (honest decision times, per-gap message counts, heavy-sync
+events) that every experiment module needs, without the live simulator,
+replicas or traces.  It is what crosses process boundaries when a campaign
+runs on the process-pool executor, and what the on-disk result cache stores.
 """
 
 from __future__ import annotations
@@ -52,6 +58,84 @@ class ComplexitySummary:
             "heavy_syncs": self.heavy_syncs_after_warmup,
             "total_messages": self.total_messages,
         }
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Picklable derived metrics of one run, detached from the live system.
+
+    The fields are exactly what the experiment modules (table1, figure1,
+    responsiveness, steady_state) compute from a
+    :class:`~repro.metrics.collector.MetricsCollector`; keeping them here —
+    rather than the collector's raw per-message records — makes the object
+    small enough to pickle across a process pool and to store in the result
+    cache, while still supporting arbitrary warm-up cutoffs after the fact.
+    """
+
+    #: Honest-leader decision times, ascending.
+    decision_times: tuple[float, ...]
+    #: Honest messages sent between consecutive honest-leader decisions
+    #: (``len == len(decision_times) - 1``; entry ``i`` covers the half-open
+    #: interval ``[decision_times[i], decision_times[i+1])``).
+    gap_message_counts: tuple[int, ...]
+    #: Honest heavy epoch synchronisations as ``(time, epoch)`` pairs.
+    epoch_sync_events: tuple[tuple[float, int], ...]
+    #: Total messages sent by honest processors.
+    total_honest_messages: int
+
+    # ------------------------------------------------------------------
+    # The same queries MetricsCollector answers, evaluated on the residue
+    # ------------------------------------------------------------------
+    def decision_times_after(self, after: float) -> list[float]:
+        """Honest-leader decision times at or after ``after``."""
+        return [t for t in self.decision_times if t >= after]
+
+    def decision_gaps(self, after: float = 0.0) -> list[float]:
+        """Gaps between consecutive honest-leader decisions after ``after``."""
+        times = self.decision_times_after(after)
+        return [later - earlier for earlier, later in zip(times, times[1:])]
+
+    def messages_per_gap(self, after: float = 0.0) -> list[int]:
+        """Honest message counts between consecutive decisions after ``after``.
+
+        Decision times are ascending, so filtering by ``after`` removes a
+        prefix and the surviving consecutive pairs match the precomputed
+        per-gap counts.
+        """
+        skipped = len(self.decision_times) - len(self.decision_times_after(after))
+        return list(self.gap_message_counts[skipped:])
+
+    def epoch_syncs_after(self, time: float) -> int:
+        """Distinct epochs any honest processor heavy-synced at or after ``time``."""
+        return len({epoch for t, epoch in self.epoch_sync_events if t >= time})
+
+    def max_gap(self, after: float = 0.0) -> Optional[float]:
+        """Largest decision gap after ``after`` (``None`` with < 2 decisions)."""
+        gaps = self.decision_gaps(after)
+        return max(gaps) if gaps else None
+
+    def median_gap(self, after: float = 0.0) -> Optional[float]:
+        """Median decision gap after ``after`` (``None`` with < 2 decisions)."""
+        gaps = sorted(self.decision_gaps(after))
+        return gaps[len(gaps) // 2] if gaps else None
+
+
+def extract_run_metrics(metrics: MetricsCollector) -> RunMetrics:
+    """Reduce a live collector to its picklable :class:`RunMetrics` residue."""
+    times = [d.time for d in metrics.honest_decisions()]
+    return RunMetrics(
+        decision_times=tuple(times),
+        gap_message_counts=tuple(
+            metrics.messages_between(earlier, later)
+            for earlier, later in zip(times, times[1:])
+        ),
+        epoch_sync_events=tuple(
+            (t, epoch)
+            for t, pid, epoch in metrics.epoch_syncs
+            if pid in metrics.honest_ids
+        ),
+        total_honest_messages=metrics.total_honest_messages,
+    )
 
 
 def summarize_run(

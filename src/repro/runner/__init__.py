@@ -1,0 +1,43 @@
+"""Unified campaign runner: declarative sweeps over the scenario harness.
+
+:func:`~repro.experiments.scenario.run_scenario` is the single *low-level*
+entry point of the reproduction — one config, one run, live result.
+:meth:`Campaign.run` is the single *high-level* one: a declarative cartesian
+grid of scenarios, executed serially or on a process pool, with an optional
+content-addressed on-disk cache so repeated campaigns only pay for missing
+cells.
+
+Typical use::
+
+    from repro.runner import Campaign, Sweep
+
+    campaign = Campaign(
+        name="my-sweep",
+        build=my_module.build_config,          # module-level: params -> ScenarioConfig
+        sweeps=(Sweep("pacemaker", ("lumiere", "lp22")), Sweep("seed", range(3))),
+        fixed={"n": 7, "duration": 600.0},
+    )
+    result = campaign.run(backend="process", cache=".repro-cache")
+    for record in result:
+        print(record.run_id, record.summary.eventual_latency)
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.campaign import Campaign, RunSpec, Sweep, config_fingerprint, spec_key
+from repro.runner.executor import BACKENDS, CampaignResult, execute_cell, run_campaign
+from repro.runner.record import RunRecord
+
+__all__ = [
+    "BACKENDS",
+    "Campaign",
+    "CampaignResult",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "Sweep",
+    "config_fingerprint",
+    "execute_cell",
+    "run_campaign",
+    "spec_key",
+]

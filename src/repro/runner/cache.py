@@ -1,0 +1,108 @@
+"""On-disk result cache for campaign cells.
+
+Records are stored one JSON file per content key (see
+:func:`~repro.runner.campaign.spec_key`): re-running a campaign only
+executes cells whose key is missing, and editing any parameter — or
+upgrading the package version — changes the key and forces a fresh run.
+
+Writes are atomic (write to a temporary sibling, then ``os.replace``) so a
+crashed or interrupted campaign never leaves a torn cache entry behind.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.runner.record import RunRecord
+
+#: Directory used when callers pass ``cache=True``-style defaults.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`RunRecord` JSON files."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Lookup / storage
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where the record with content hash ``key`` lives (or would live)."""
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The cached record for ``key``, or ``None`` on a miss.
+
+        Unreadable or torn entries count as misses and are removed, so a
+        corrupted file can never wedge a campaign.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return RunRecord.from_json_dict(data)
+        except FileNotFoundError:
+            return None
+        except (KeyError, TypeError, ValueError):
+            # ValueError covers json.JSONDecodeError and UnicodeDecodeError
+            # (malformed bytes) as well as wrong-arity unpacks during record
+            # reconstruction — any unreadable entry is a miss, not a crash.
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, record: RunRecord) -> None:
+        """Store ``record`` under its content key, atomically.
+
+        The temporary file name is unique per writer (not per key), so
+        concurrent campaigns sharing a cache directory can race on the same
+        key and the loser still publishes a whole file, never a torn one.
+        """
+        path = self.path_for(record.key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record.to_json_dict(), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Content keys currently stored."""
+        for path in self.root.glob("*.json"):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every cached record; returns how many were deleted.
+
+        Also sweeps ``*.tmp`` debris left behind by hard-killed writers
+        (a ``put`` interrupted between ``mkstemp`` and ``os.replace``).
+        """
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for stray in self.root.glob("*.tmp"):
+            stray.unlink(missing_ok=True)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

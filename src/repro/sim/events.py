@@ -33,7 +33,7 @@ class _QueuedEvent:
 class EventHandle:
     """Handle returned by the scheduling methods, used to cancel an event."""
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label", "_sim")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class EventHandle:
         callback: Callable[..., None],
         args: tuple[Any, ...],
         label: str = "",
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.callback = callback
@@ -48,10 +49,15 @@ class EventHandle:
         self.cancelled = False
         self.fired = False
         self.label = label
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -74,11 +80,16 @@ class Simulator:
         that runs are reproducible.
     """
 
+    #: Compaction kicks in once this many cancelled entries linger in the
+    #: queue *and* they outnumber the live ones (see :meth:`_note_cancelled`).
+    COMPACTION_MIN_CANCELLED = 256
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._seq = 0
         self._queue: list[_QueuedEvent] = []
         self._events_processed = 0
+        self._cancelled_pending = 0
         self.rng = random.Random(seed)
         self.seed = seed
 
@@ -97,8 +108,19 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
+        """Number of heap entries still queued, *including* cancelled ones.
+
+        Cancellation is lazy: a cancelled event stays in the heap until it is
+        popped or a compaction sweep removes it, so this is a measure of heap
+        size, not of outstanding work.  Use :attr:`active_events` for the
+        number of events that will actually fire.
+        """
         return len(self._queue)
+
+    @property
+    def active_events(self) -> int:
+        """Number of queued events that are not cancelled (i.e. will fire)."""
+        return len(self._queue) - self._cancelled_pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -127,10 +149,36 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time!r}, which is before now={self._now!r}"
             )
-        handle = EventHandle(time, callback, args, label=label)
+        handle = EventHandle(time, callback, args, label=label, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, _QueuedEvent(time, self._seq, handle))
         return handle
+
+    # ------------------------------------------------------------------
+    # Lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` the first time a handle is cancelled.
+
+        Timer-heavy protocols (Lumiere/Fever pacemakers re-arm timeouts on
+        every view) cancel thousands of events that would otherwise linger in
+        the heap until their scheduled time.  Once the cancelled entries both
+        exceed :attr:`COMPACTION_MIN_CANCELLED` and outnumber the live ones,
+        the queue is rebuilt without them, keeping push/pop costs bounded by
+        the *active* event count.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACTION_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap and restore the invariant."""
+        self._queue = [entry for entry in self._queue if not entry.handle.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -145,6 +193,7 @@ class Simulator:
             entry = heapq.heappop(self._queue)
             handle = entry.handle
             if handle.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = entry.time
             handle.fired = True
@@ -187,12 +236,13 @@ class Simulator:
             entry = self._queue[0]
             if entry.handle.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_pending -= 1
                 continue
             return entry.time
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
+            f"Simulator(now={self._now:.3f}, active={self.active_events}, "
             f"processed={self._events_processed})"
         )

@@ -165,9 +165,15 @@ class AdversarialDelay(DelayModel):
 
     The callable receives ``(pending_send, sim)`` and returns a delay.  Used
     by attack strategies that need full control of the schedule.
+
+    ``describe()`` identifies the model in campaign cache keys, so it must
+    distinguish different schedules.  The default (the callable's qualname)
+    is only sound for module-level functions; campaigns reject lambdas and
+    closures, whose qualnames collide across different captured parameters —
+    give those a distinctive ``name``.
     """
 
-    def __init__(self, fn: Callable[[PendingSend, Simulator], float], name: str = "custom") -> None:
+    def __init__(self, fn: Callable[[PendingSend, Simulator], float], name: str = "") -> None:
         self.fn = fn
         self.name = name
 
@@ -175,7 +181,12 @@ class AdversarialDelay(DelayModel):
         return self.fn(envelope_info, sim)
 
     def describe(self) -> str:
-        return f"AdversarialDelay({self.name})"
+        if self.name:
+            return f"AdversarialDelay({self.name})"
+        # Default to the callable's identity so two different module-level
+        # schedules never share a description (and hence a cache key).
+        fn_id = getattr(self.fn, "__qualname__", None) or repr(self.fn)
+        return f"AdversarialDelay({fn_id})"
 
 
 class TargetedDelay(DelayModel):
@@ -237,6 +248,7 @@ class Network:
         self.config = config
         self.delay_model = delay_model or FixedDelay(config.actual_delay)
         self._processes: dict[int, Any] = {}
+        self._sorted_ids: tuple[int, ...] = ()
         self._msg_ids = itertools.count()
         self.send_listeners: list[Callable[[Envelope], None]] = []
         self.deliver_listeners: list[Callable[[Envelope], None]] = []
@@ -252,11 +264,15 @@ class Network:
         if pid in self._processes:
             raise SimulationError(f"process id {pid} registered twice")
         self._processes[pid] = process
+        # The sorted id list is read on every broadcast; re-sorting there was
+        # a measurable hot-path cost, so it is cached and only invalidated
+        # here (processes never unregister).
+        self._sorted_ids = tuple(sorted(self._processes))
 
     @property
     def process_ids(self) -> list[int]:
         """Sorted ids of all registered processes."""
-        return sorted(self._processes)
+        return list(self._sorted_ids)
 
     def process(self, pid: int) -> Any:
         """Return the registered process with id ``pid``."""
@@ -273,7 +289,42 @@ class Network:
         """
         if recipient not in self._processes:
             raise SimulationError(f"unknown recipient {recipient}")
+        return self._send_one(sender, recipient, payload, self.sim.now, self.send_listeners)
+
+    def broadcast(
+        self, sender: int, payload: Any, include_self: bool = True
+    ) -> list[Envelope]:
+        """Send ``payload`` from ``sender`` to every registered process."""
         now = self.sim.now
+        listeners = self.send_listeners
+        envelopes = []
+        for pid in self._sorted_ids:
+            if pid == sender and not include_self:
+                continue
+            envelopes.append(self._send_one(sender, pid, payload, now, listeners))
+        return envelopes
+
+    def multicast(self, sender: int, recipients: Sequence[int], payload: Any) -> list[Envelope]:
+        """Send ``payload`` from ``sender`` to each processor in ``recipients``."""
+        now = self.sim.now
+        listeners = self.send_listeners
+        processes = self._processes
+        envelopes = []
+        for pid in recipients:
+            if pid not in processes:
+                raise SimulationError(f"unknown recipient {pid}")
+            envelopes.append(self._send_one(sender, pid, payload, now, listeners))
+        return envelopes
+
+    def _send_one(
+        self,
+        sender: int,
+        recipient: int,
+        payload: Any,
+        now: float,
+        listeners: Sequence[Callable[[Envelope], None]],
+    ) -> Envelope:
+        """Construct, announce and schedule one envelope; shared send path."""
         deliver_time = self._delivery_time(sender, recipient, payload, now)
         envelope = Envelope(
             msg_id=next(self._msg_ids),
@@ -284,25 +335,10 @@ class Network:
             deliver_time=deliver_time,
         )
         self.messages_sent += 1
-        for listener in self.send_listeners:
+        for listener in listeners:
             listener(envelope)
         self.sim.schedule_at(deliver_time, self._deliver, envelope, label="deliver")
         return envelope
-
-    def broadcast(
-        self, sender: int, payload: Any, include_self: bool = True
-    ) -> list[Envelope]:
-        """Send ``payload`` from ``sender`` to every registered process."""
-        envelopes = []
-        for pid in self.process_ids:
-            if pid == sender and not include_self:
-                continue
-            envelopes.append(self.send(sender, pid, payload))
-        return envelopes
-
-    def multicast(self, sender: int, recipients: Sequence[int], payload: Any) -> list[Envelope]:
-        """Send ``payload`` from ``sender`` to each processor in ``recipients``."""
-        return [self.send(sender, pid, payload) for pid in recipients]
 
     # ------------------------------------------------------------------
     # Internals

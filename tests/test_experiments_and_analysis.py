@@ -144,3 +144,18 @@ def test_growth_ratio():
     assert growth_ratio([2, 4, 8]) == pytest.approx(4.0)
     assert math.isnan(growth_ratio([0, 4]))
     assert math.isnan(growth_ratio([5]))
+
+
+def test_figure1_sweep_tolerates_duplicate_sizes():
+    from repro.experiments.figure1 import figure1_sweep
+
+    figures = figure1_sweep((4, 4), delta=1.0, actual_delay=0.05, duration=120.0, seed=0)
+    assert list(figures) == [4]
+    assert figures[4].n == 4
+
+
+def test_heavy_sync_sweep_tolerates_duplicate_protocols():
+    from repro.experiments.steady_state import heavy_sync_sweep
+
+    results = heavy_sync_sweep(("lumiere", "lumiere"), n=4, duration=200.0, warmup=40.0)
+    assert list(results) == ["lumiere"]

@@ -135,3 +135,67 @@ def test_handle_reports_fired_state():
     sim.run()
     assert handle.fired
     assert not handle.pending
+
+
+# ----------------------------------------------------------------------
+# Lazy cancellation: active_events and heap compaction
+# ----------------------------------------------------------------------
+def test_active_events_excludes_cancelled_entries():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert sim.active_events == 6
+    assert sim.pending_events == 6
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sim.active_events == 2
+    # Cancellation is lazy: the heap still holds the cancelled entries.
+    assert sim.pending_events >= sim.active_events
+
+
+def test_cancel_is_idempotent_for_the_active_count():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.active_events == 0
+
+
+def test_cancel_after_firing_does_not_corrupt_the_active_count():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # no-op: already fired
+    assert sim.active_events == 0
+    assert sim.pending_events == 0
+
+
+def test_compaction_prunes_cancelled_entries_from_the_heap():
+    sim = Simulator()
+    sim.COMPACTION_MIN_CANCELLED = 4  # shrink the threshold for the test
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles[:6]:
+        handle.cancel()
+    # 6 cancelled >= 4 and 6*2 > 10: the sweep runs and the heap shrinks.
+    assert sim.pending_events == 4
+    assert sim.active_events == 4
+
+
+def test_execution_order_survives_compaction():
+    sim = Simulator()
+    sim.COMPACTION_MIN_CANCELLED = 2
+    order = []
+    keep = [sim.schedule(float(i + 1), order.append, i) for i in range(5)]
+    doomed = [sim.schedule(0.5 + i, lambda: order.append("bad")) for i in range(5)]
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+    assert all(handle.fired for handle in keep)
+
+
+def test_repr_reports_active_events():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert "active=1" in repr(sim)

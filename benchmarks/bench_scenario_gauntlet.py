@@ -1,0 +1,75 @@
+"""The scenario gauntlet: every pacemaker against the adversarial library.
+
+Every scenario in the default gauntlet keeps at most ``f`` processors faulty
+and proposes delays within the partial-synchrony envelope, so a *correct*
+pacemaker must stay safe and live in every cell; the benchmark asserts
+exactly that, prints the pacemaker x scenario comparison tables (decisions
+and worst post-GST decision gap), and asserts the paper's headline
+separation: Lumiere out-decides LP22 under the partition scenario, where
+epoch-based clocks lag the whole pre-GST period behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.gauntlet import (
+    DEFAULT_GAUNTLET_SCENARIOS,
+    gauntlet_table,
+    scenario_gauntlet,
+)
+from repro.pacemakers.registry import available_pacemakers
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false", "False")
+
+
+def test_scenario_gauntlet(benchmark, campaign_backend, campaign_workers, campaign_cache):
+    n = 4 if QUICK else 7
+    gst = 20.0
+    duration = gst + (150.0 if QUICK else 300.0)
+    pacemakers = available_pacemakers()
+    scenarios = DEFAULT_GAUNTLET_SCENARIOS
+
+    def run():
+        return scenario_gauntlet(
+            pacemakers,
+            scenarios,
+            n=n,
+            gst=gst,
+            duration=duration,
+            seed=3,
+            backend=campaign_backend,
+            workers=campaign_workers,
+            cache=campaign_cache,
+        )
+
+    cells = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    print()
+    print(f"Scenario gauntlet (n={n}, GST={gst}, duration={duration}) — decisions")
+    print(gauntlet_table(cells, measure="decisions"))
+    print()
+    print("Worst post-GST decision gap")
+    print(gauntlet_table(cells, measure="max_gap"))
+
+    assert len(cells) == len(pacemakers) * len(scenarios)
+    assert len(scenarios) >= 8
+
+    # Safety is unconditional: no adversary in the library may break it.
+    assert all(cell.ledgers_consistent for cell in cells)
+    # Liveness is required of every correct pacemaker in every cell: all
+    # scenarios keep >= 2f+1 honest-and-up processors and heal by GST.
+    for cell in cells:
+        assert cell.decisions > 0, f"{cell.pacemaker} made no progress under {cell.scenario}"
+
+    # The headline separation (Figure 1 / Table 1): under a pre-GST partition
+    # healing at GST, Lumiere recovers at network speed while LP22's clock
+    # mechanism grinds through the views the calm half raced ahead by.
+    by_key = {(cell.pacemaker, cell.scenario): cell for cell in cells}
+    lumiere = by_key[("lumiere", "split_brain_at_gst")]
+    lp22 = by_key[("lp22", "split_brain_at_gst")]
+    assert lumiere.decisions > 2 * lp22.decisions
+
+    benchmark.extra_info["cells"] = len(cells)
+    benchmark.extra_info["lumiere_partition_decisions"] = lumiere.decisions
+    benchmark.extra_info["lp22_partition_decisions"] = lp22.decisions

@@ -11,6 +11,7 @@ for pre-packaged worst-case schedules).
 
 from repro.adversary.behaviours import (
     Behaviour,
+    ChurnBehaviour,
     CrashBehaviour,
     EquivocatingBehaviour,
     HonestBehaviour,
@@ -29,6 +30,7 @@ from repro.adversary.attacks import (
 
 __all__ = [
     "Behaviour",
+    "ChurnBehaviour",
     "CorruptionPlan",
     "CrashBehaviour",
     "EquivocatingBehaviour",

@@ -67,6 +67,27 @@ class Behaviour:
         """If not ``None``, the simulation time at which this processor halts."""
         return None
 
+    def recover_time(self) -> Optional[float]:
+        """If not ``None``, the time at which a crashed processor restarts.
+
+        Only meaningful together with :meth:`crash_time`; must be strictly
+        after it.  ``None`` (the default) means a crash is permanent.
+        """
+        return None
+
+    def downtime_windows(self) -> list[tuple[float, Optional[float]]]:
+        """All ``(crash_at, recover_at)`` windows, in increasing order.
+
+        The general lifecycle hook: a replica crashes at the start of each
+        window and recovers at its end (``None`` end = never).  The default
+        derives a single window from :meth:`crash_time` / :meth:`recover_time`;
+        churn behaviours override this to cycle through many windows.
+        """
+        crash_at = self.crash_time()
+        if crash_at is None:
+            return []
+        return [(crash_at, self.recover_time())]
+
     def describe(self) -> str:
         """Human-readable description used in scenario reports."""
         return type(self).__name__
@@ -78,16 +99,66 @@ class HonestBehaviour(Behaviour):
 
 @dataclass
 class CrashBehaviour(Behaviour):
-    """Crash-stop at a given time (benign fault)."""
+    """Crash-stop at a given time (benign fault), optionally recovering later."""
 
     at_time: float = 0.0
     is_byzantine: bool = True
+    #: When set, the processor restarts at this time (must exceed ``at_time``).
+    recover_at: Optional[float] = None
 
     def crash_time(self) -> Optional[float]:
         return self.at_time
 
+    def recover_time(self) -> Optional[float]:
+        return self.recover_at
+
     def describe(self) -> str:
-        return f"CrashBehaviour(at={self.at_time})"
+        if self.recover_at is None:
+            return f"CrashBehaviour(at={self.at_time})"
+        return f"CrashBehaviour(at={self.at_time}, recover_at={self.recover_at})"
+
+
+@dataclass
+class ChurnBehaviour(Behaviour):
+    """Repeated crash/recovery cycles: down for ``downtime`` out of every ``period``.
+
+    Starting at ``first_crash``, the processor crashes, stays down for
+    ``downtime`` time units, recovers, and repeats every ``period`` time units
+    for ``cycles`` cycles (the last recovery still happens, so the processor
+    ends the run alive).  This models restart churn — processors that keep
+    rejoining the protocol with their local clocks intact but having missed
+    messages.
+    """
+
+    first_crash: float = 0.0
+    downtime: float = 1.0
+    period: float = 10.0
+    cycles: int = 3
+    is_byzantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.downtime <= 0 or self.period <= self.downtime:
+            raise ValueError(
+                f"need 0 < downtime < period, got downtime={self.downtime}, "
+                f"period={self.period}"
+            )
+        if self.cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {self.cycles}")
+
+    def downtime_windows(self) -> list[tuple[float, Optional[float]]]:
+        return [
+            (
+                self.first_crash + index * self.period,
+                self.first_crash + index * self.period + self.downtime,
+            )
+            for index in range(self.cycles)
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"ChurnBehaviour(first={self.first_crash}, down={self.downtime}, "
+            f"period={self.period}, cycles={self.cycles})"
+        )
 
 
 class SilentLeaderBehaviour(Behaviour):

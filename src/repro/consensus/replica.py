@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional
 
 from repro.adversary.behaviours import Behaviour, HonestBehaviour
 from repro.config import ProtocolConfig
+from repro.errors import ConfigurationError
 from repro.consensus.blocks import Block, BlockTree
 from repro.consensus.engine import ChainedHotStuff, ConsensusEngine
 from repro.consensus.ledger import Ledger
@@ -63,7 +64,7 @@ class Replica(Process):
         self.mempool = mempool if mempool is not None else Mempool(pid)
         self.engine = (engine_factory or ChainedHotStuff)(self)
         self.pacemaker = pacemaker_factory(self)
-        self._schedule_crash_if_any()
+        self._schedule_downtime()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -72,12 +73,23 @@ class Replica(Process):
         """Start the pacemaker (which will drive the engine into views)."""
         self.pacemaker.start()
 
-    def _schedule_crash_if_any(self) -> None:
-        crash_at = self.behaviour.crash_time()
-        if crash_at is None:
-            return
-        crash_at = max(crash_at, self.now)
-        self.sim.schedule_at(crash_at, self.crash)
+    def _schedule_downtime(self) -> None:
+        """Schedule every crash/recovery window the behaviour declares.
+
+        A window ``(crash_at, recover_at)`` crashes the replica at its start
+        and — when ``recover_at`` is not ``None`` — restarts it at its end,
+        so churn behaviours can take a replica down and up repeatedly.
+        """
+        windows = self.behaviour.downtime_windows()
+        for crash_at, recover_at in windows:
+            if recover_at is not None and recover_at <= crash_at:
+                raise ConfigurationError(
+                    f"recovery at {recover_at} does not follow crash at {crash_at}"
+                )
+        for crash_at, recover_at in windows:
+            self.sim.schedule_at(max(crash_at, self.now), self.crash)
+            if recover_at is not None:
+                self.sim.schedule_at(max(recover_at, self.now), self.recover)
 
     # ------------------------------------------------------------------
     # Message routing

@@ -9,7 +9,9 @@ low-level entry point; sweeps over it are expressed as
 :meth:`~repro.runner.Campaign.run` as the single high-level one.
 
 The ``table1``, ``figure1``, ``responsiveness`` and ``steady_state`` modules
-build campaigns that regenerate the corresponding artefacts from the paper.
+build campaigns that regenerate the corresponding artefacts from the paper;
+``gauntlet`` runs every pacemaker against the named adversarial scenario
+library (:mod:`repro.faults`).
 """
 
 from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
@@ -20,11 +22,19 @@ from repro.experiments.table1 import (
     worst_case_complexity_sweep,
 )
 from repro.experiments.figure1 import Figure1Result, figure1_sweep, run_figure1
+from repro.experiments.gauntlet import (
+    DEFAULT_GAUNTLET_SCENARIOS,
+    GauntletCell,
+    gauntlet_table,
+    scenario_gauntlet,
+)
 from repro.experiments.responsiveness import ResponsivenessPoint, responsiveness_sweep
 from repro.experiments.steady_state import HeavySyncResult, heavy_sync_count, heavy_sync_sweep
 
 __all__ = [
+    "DEFAULT_GAUNTLET_SCENARIOS",
     "Figure1Result",
+    "GauntletCell",
     "HeavySyncResult",
     "ResponsivenessPoint",
     "ScenarioConfig",
@@ -32,11 +42,13 @@ __all__ = [
     "Table1Row",
     "eventual_complexity_sweep",
     "figure1_sweep",
+    "gauntlet_table",
     "heavy_sync_count",
     "heavy_sync_sweep",
     "responsiveness_sweep",
     "run_figure1",
     "run_scenario",
+    "scenario_gauntlet",
     "table1_rows",
     "worst_case_complexity_sweep",
 ]

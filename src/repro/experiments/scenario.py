@@ -64,6 +64,17 @@ class ScenarioConfig:
     record_trace: bool = True
     #: Upper bound on pre-GST delays used when a chaotic pre-GST model is built.
     pre_gst_max_delay: float = 50.0
+    #: Floor on every proposed message delay (see
+    #: :attr:`repro.sim.network.NetworkConfig.min_delay`); guards zero-delay
+    #: models against the same-timestamp event budget.
+    min_delay: float = 0.0
+    #: Named fault scenario from :mod:`repro.faults.library`.  When set, the
+    #: scenario determines the delay model and corruption plan (so
+    #: ``delay_model`` and ``corruption`` must stay ``None``); campaigns can
+    #: sweep this field directly.
+    scenario: Optional[str] = None
+    #: Parameter overrides for the named scenario (JSON-serializable values).
+    scenario_params: dict[str, Any] = field(default_factory=dict)
 
     def protocol_config(self) -> ProtocolConfig:
         """The shared :class:`ProtocolConfig` implied by this scenario."""
@@ -76,6 +87,7 @@ class ScenarioConfig:
             gst=self.gst,
             actual_delay=self.actual_delay,
             pre_gst_max_delay=self.pre_gst_max_delay,
+            min_delay=self.min_delay,
         )
 
 
@@ -186,7 +198,23 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
     :func:`run_scenario`.
     """
     protocol_config = config.protocol_config()
-    corruption = config.corruption or CorruptionPlan.none(protocol_config)
+    delay_model = config.delay_model
+    explicit_corruption = config.corruption
+    if config.scenario is not None:
+        # Local import: the library builds on the experiments package's config
+        # type, so importing it at module level would create a cycle.
+        from repro.faults.library import get_scenario
+
+        if delay_model is not None or explicit_corruption is not None:
+            raise ConfigurationError(
+                f"scenario {config.scenario!r} fully determines the adversary; "
+                "leave delay_model and corruption unset (override via "
+                "scenario_params instead)"
+            )
+        delay_model, explicit_corruption = get_scenario(config.scenario).build(
+            config, config.scenario_params
+        )
+    corruption = explicit_corruption or CorruptionPlan.none(protocol_config)
     if corruption.config.n != protocol_config.n:
         raise ConfigurationError("corruption plan was built for a different system size")
 
@@ -194,7 +222,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
     network = Network(
         simulator,
         config.network_config(),
-        delay_model=config.delay_model or FixedDelay(config.actual_delay),
+        delay_model=delay_model or FixedDelay(config.actual_delay),
     )
     trace = TraceRecorder(enabled=config.record_trace)
     ctx = SimContext(sim=simulator, network=network, trace=trace)

@@ -1,0 +1,48 @@
+"""Fault injection: composable network schedules and the named scenario library.
+
+This package is the adversarial half of the reproduction's workload surface:
+
+* :mod:`repro.faults.schedules` — composable
+  :class:`~repro.sim.network.DelayModel` subclasses shaping delays by time
+  (intermittent synchrony), topology (partitions), target (rotating
+  leader-DoS) or traffic class (view-sync vs. consensus throttling);
+* :mod:`repro.faults.library` — a registry of named, parameterised scenarios
+  combining schedules with corruption plans.  A scenario name is a valid
+  :class:`~repro.runner.campaign.Sweep` axis value via
+  ``ScenarioConfig(scenario=...)``, so campaigns sweep the adversarial design
+  space the same way they sweep system sizes or seeds.
+
+Everything here proposes delays *within* the partial-synchrony envelope: the
+network still clamps every delivery to ``max(GST, send_time) + Delta``, so no
+schedule can break the model — only fill it.
+"""
+
+from repro.faults.library import (
+    FaultScenario,
+    ScenarioParameter,
+    available_scenarios,
+    get_scenario,
+    scenario,
+    scenario_catalogue,
+)
+from repro.faults.schedules import (
+    MESSAGE_CLASSES,
+    IntermittentSynchrony,
+    MessageClassDelay,
+    PartitionSchedule,
+    RotatingLeaderDelay,
+)
+
+__all__ = [
+    "MESSAGE_CLASSES",
+    "FaultScenario",
+    "IntermittentSynchrony",
+    "MessageClassDelay",
+    "PartitionSchedule",
+    "RotatingLeaderDelay",
+    "ScenarioParameter",
+    "available_scenarios",
+    "get_scenario",
+    "scenario",
+    "scenario_catalogue",
+]

@@ -14,7 +14,14 @@ from repro.errors import ConfigurationError
 
 
 def available_pacemakers() -> list[str]:
-    """Names accepted by :func:`make_pacemaker_factory`."""
+    """Names accepted by :func:`make_pacemaker_factory`.
+
+    Returns
+    -------
+    list[str]
+        Every registered protocol name, in roster order (Lumiere variants
+        first, then the baselines it is compared against).
+    """
     return [
         "lumiere",
         "basic-lumiere",
@@ -34,9 +41,29 @@ def make_pacemaker_factory(
 ) -> Callable[[Any], Any]:
     """Return a ``replica -> Pacemaker`` factory for the named protocol.
 
-    ``pacemaker_config`` is the protocol-specific configuration object
-    (e.g. a :class:`~repro.core.config.LumiereConfig`); when ``None`` the
-    protocol's defaults are used.
+    Parameters
+    ----------
+    name:
+        Protocol name; case-insensitive, with ``_`` and ``-`` treated alike
+        (see :func:`available_pacemakers`).
+    config:
+        The shared :class:`~repro.config.ProtocolConfig` (system size,
+        ``Delta``, the view-completion constant ``x``).
+    pacemaker_config:
+        Protocol-specific configuration object (e.g. a
+        :class:`~repro.core.config.LumiereConfig`); ``None`` uses the
+        protocol's defaults.
+
+    Returns
+    -------
+    Callable
+        A factory mapping a :class:`~repro.consensus.replica.Replica` to a
+        fresh pacemaker instance wired to it.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not a registered protocol.
     """
     # Imports are local so that importing the registry does not pull in every
     # protocol module (and to keep the package import graph acyclic).

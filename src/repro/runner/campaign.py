@@ -48,7 +48,15 @@ ConfigBuilder = Callable[[dict[str, Any]], "ScenarioConfig"]
 
 @dataclass(frozen=True)
 class Sweep:
-    """One axis of a campaign grid: a parameter name and its values, in order."""
+    """One axis of a campaign grid: a parameter name and its values, in order.
+
+    Parameters
+    ----------
+    field_name:
+        The parameter this axis sweeps (a key in the builder's params dict).
+    values:
+        The values, in sweep order; must be non-empty.
+    """
 
     field: str
     values: tuple[Any, ...]
@@ -62,7 +70,20 @@ class Sweep:
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One expanded campaign cell, ready to execute."""
+    """One expanded campaign cell, ready to execute.
+
+    Attributes
+    ----------
+    run_id:
+        Stable human-readable id: ``campaign-name[field=value,...]``.
+    params:
+        The parameter point (fixed values merged with one grid point).
+    config:
+        The scenario config the builder produced for ``params``.
+    key:
+        Content hash identifying this cell's results across campaign runs
+        (see :func:`spec_key`).
+    """
 
     run_id: str
     params: dict[str, Any] = field(compare=False)
@@ -118,6 +139,23 @@ def config_fingerprint(config: "ScenarioConfig") -> dict[str, Any]:
     delay models by their :meth:`~repro.sim.network.DelayModel.describe`
     string.  Custom behaviours and delay models must therefore make
     ``describe()`` faithful to their parameters for caching to be sound.
+
+    Parameters
+    ----------
+    config:
+        The fully expanded scenario configuration.
+
+    Returns
+    -------
+    dict
+        A JSON-serializable description covering every field that affects
+        the run's outcome (including named scenario and its parameters).
+
+    Raises
+    ------
+    ConfigurationError
+        If a nested object has no parameter-faithful description (default
+        object repr, lambda/closure qualname).
     """
     corruption = config.corruption
     delay_model = config.delay_model
@@ -133,6 +171,9 @@ def config_fingerprint(config: "ScenarioConfig") -> dict[str, Any]:
         "seed": config.seed,
         "record_trace": config.record_trace,
         "pre_gst_max_delay": config.pre_gst_max_delay,
+        "min_delay": config.min_delay,
+        "scenario": config.scenario,
+        "scenario_params": dict(sorted(config.scenario_params.items())),
         "corruption": None
         if corruption is None
         else {
@@ -146,7 +187,23 @@ def config_fingerprint(config: "ScenarioConfig") -> dict[str, Any]:
 
 
 def spec_key(config: ScenarioConfig, max_events: Optional[int] = None) -> str:
-    """Content hash identifying one cell's results across campaign runs."""
+    """Content hash identifying one cell's results across campaign runs.
+
+    Parameters
+    ----------
+    config:
+        The fully expanded scenario configuration.
+    max_events:
+        The campaign's per-run event budget, part of the key because it
+        changes the result.
+
+    Returns
+    -------
+    str
+        A SHA-256 hex digest over the canonical JSON of
+        :func:`config_fingerprint` plus the package version (so code
+        upgrades invalidate stale cache entries).
+    """
     document = {
         "version": __version__,
         "max_events": max_events,
@@ -198,7 +255,14 @@ class Campaign:
     # Expansion
     # ------------------------------------------------------------------
     def points(self) -> list[dict[str, Any]]:
-        """The cartesian grid as parameter dicts, in deterministic order."""
+        """The cartesian grid as parameter dicts, in deterministic order.
+
+        Returns
+        -------
+        list[dict]
+            One dict per cell (fixed values merged with the grid point),
+            in declaration order with the last axis fastest.
+        """
         grid: list[dict[str, Any]] = [dict(self.fixed)]
         for sweep in self.sweeps:
             grid = [
@@ -207,7 +271,14 @@ class Campaign:
         return grid
 
     def run_id_for(self, params: Mapping[str, Any]) -> str:
-        """The stable id of the cell at ``params`` (swept fields only)."""
+        """The stable id of the cell at ``params`` (swept fields only).
+
+        Returns
+        -------
+        str
+            ``name[field=value,...]`` over the swept fields in axis order,
+            or just ``name`` for a sweep-less campaign.
+        """
         cell = ",".join(
             f"{sweep.field}={_format_value(params[sweep.field])}" for sweep in self.sweeps
         )
@@ -220,6 +291,17 @@ class Campaign:
         any simulation runs — because they travel in every
         :class:`~repro.runner.record.RunRecord` and cache entry; failing at
         ``cache.put`` time would discard completed work.
+
+        Returns
+        -------
+        list[RunSpec]
+            One spec per cell, in :meth:`points` order.
+
+        Raises
+        ------
+        ConfigurationError
+            If a parameter value is not JSON-serializable, or an expanded
+            config has no stable fingerprint.
         """
         specs = []
         for params in self.points():
@@ -258,10 +340,22 @@ class Campaign:
     ) -> "CampaignResult":
         """Execute every cell and return the campaign's records.
 
-        ``backend`` is ``"serial"`` (deterministic, in-process; the default)
-        or ``"process"`` (a ``concurrent.futures`` process pool with
-        ``workers`` workers).  ``cache`` may be a :class:`ResultCache`, a
-        directory path, or ``None`` to disable caching.
+        Parameters
+        ----------
+        backend:
+            ``"serial"`` (deterministic, in-process; the default) or
+            ``"process"`` (a ``concurrent.futures`` process pool).
+        workers:
+            Worker count for the process backend (``None`` = executor
+            default, i.e. the CPU count).
+        cache:
+            A :class:`ResultCache`, a directory path, or ``None`` to
+            disable caching.
+
+        Returns
+        -------
+        CampaignResult
+            All records in expansion order, with cache-hit accounting.
         """
         from repro.runner.executor import run_campaign
 

@@ -84,11 +84,20 @@ class Simulator:
     #: queue *and* they outnumber the live ones (see :meth:`_note_cancelled`).
     COMPACTION_MIN_CANCELLED = 256
 
+    #: Hard cap on events executed at one virtual timestamp.  A zero-delay
+    #: event chain (e.g. a delay model proposing 0.0 for every message) makes
+    #: unbounded progress without virtual time ever advancing, so
+    #: ``run(until=...)`` would otherwise never return.  Exceeding the budget
+    #: raises :class:`SimulationError` instead of livelocking; legitimate
+    #: bursts (n^2 broadcast deliveries at one instant) sit far below it.
+    MAX_EVENTS_PER_TIMESTAMP = 100_000
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._seq = 0
         self._queue: list[_QueuedEvent] = []
         self._events_processed = 0
+        self._events_at_now = 0
         self._cancelled_pending = 0
         self.rng = random.Random(seed)
         self.seed = seed
@@ -188,6 +197,12 @@ class Simulator:
 
         Returns ``True`` if an event was executed and ``False`` if the queue
         is empty.
+
+        Raises
+        ------
+        SimulationError
+            If more than :attr:`MAX_EVENTS_PER_TIMESTAMP` events execute
+            without virtual time advancing (a zero-delay event chain).
         """
         while self._queue:
             entry = heapq.heappop(self._queue)
@@ -195,7 +210,18 @@ class Simulator:
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue
-            self._now = entry.time
+            if entry.time != self._now:
+                self._now = entry.time
+                self._events_at_now = 0
+            self._events_at_now += 1
+            if self._events_at_now > self.MAX_EVENTS_PER_TIMESTAMP:
+                raise SimulationError(
+                    f"more than {self.MAX_EVENTS_PER_TIMESTAMP} events executed at "
+                    f"timestamp {self._now!r} without time advancing; this is almost "
+                    "always a zero-delay event chain (e.g. a delay model proposing "
+                    "0.0 for every message) — give NetworkConfig a min_delay floor "
+                    "or raise Simulator.MAX_EVENTS_PER_TIMESTAMP"
+                )
             handle.fired = True
             self._events_processed += 1
             handle.callback(*handle.args)
@@ -222,13 +248,16 @@ class Simulator:
             if next_time is None:
                 break
             if until is not None and next_time > until:
-                self._now = max(self._now, until)
+                if until > self._now:
+                    self._now = until
+                    self._events_at_now = 0
                 return
             self.step()
             if budget is not None:
                 budget -= 1
         if until is not None and until > self._now:
             self._now = until
+            self._events_at_now = 0
 
     def _peek_time(self) -> Optional[float]:
         """Return the time of the next non-cancelled event, if any."""

@@ -40,12 +40,22 @@ class NetworkConfig:
         Upper bound used by delay models for messages sent before GST.  The
         model itself caps delivery at ``GST + delta`` anyway; this bound only
         shapes how chaotic the pre-GST period looks.
+    min_delay:
+        Floor applied to every delay a :class:`DelayModel` proposes for a
+        message between *distinct* processors (self-messages stay immediate).
+        The default of ``0.0`` keeps the historical behaviour; setting it
+        positive guarantees virtual time advances along every message chain,
+        so a model proposing ``0.0`` forever can no longer livelock
+        ``Simulator.run(until=...)`` (see also
+        :attr:`~repro.sim.events.Simulator.MAX_EVENTS_PER_TIMESTAMP`, the
+        complementary guard that trips when no floor is set).
     """
 
     delta: float = 1.0
     gst: float = 0.0
     actual_delay: float = 0.1
     pre_gst_max_delay: float = 50.0
+    min_delay: float = 0.0
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -60,11 +70,29 @@ class NetworkConfig:
             raise ConfigurationError(
                 f"pre_gst_max_delay must be non-negative, got {self.pre_gst_max_delay}"
             )
+        if self.min_delay < 0 or self.min_delay > self.delta:
+            raise ConfigurationError(
+                f"min_delay must be in [0, delta={self.delta}], got {self.min_delay}"
+            )
 
 
 @dataclass(frozen=True)
 class Envelope:
-    """A single point-to-point message in flight."""
+    """A single point-to-point message in flight.
+
+    Attributes
+    ----------
+    msg_id:
+        Unique, monotonically increasing id assigned by the network.
+    sender, recipient:
+        Processor ids of the two endpoints.
+    payload:
+        The message content, delivered verbatim.
+    send_time:
+        Virtual time the message was sent.
+    deliver_time:
+        Virtual time the message will be (or was) delivered.
+    """
 
     msg_id: int
     sender: int
@@ -86,8 +114,21 @@ class DelayModel(ABC):
     def propose_delay(self, envelope_info: "PendingSend", sim: Simulator) -> float:
         """Return the proposed delay for the message described by ``envelope_info``.
 
-        The returned value is advisory: the network clamps delivery to the
-        partial-synchrony deadline ``max(GST, send_time) + Delta``.
+        Parameters
+        ----------
+        envelope_info:
+            The :class:`PendingSend` describing the message (sender,
+            recipient, payload, send time, whether the send is after GST).
+        sim:
+            The simulator; use ``sim.rng`` for randomness so runs stay
+            reproducible, and ``sim.now`` for the current time.
+
+        Returns
+        -------
+        float
+            The proposed delay in virtual-time units.  Advisory: the network
+            floors it at :attr:`NetworkConfig.min_delay` and clamps delivery
+            to the partial-synchrony deadline ``max(GST, send_time) + Delta``.
         """
 
     def describe(self) -> str:
@@ -97,7 +138,20 @@ class DelayModel(ABC):
 
 @dataclass(frozen=True)
 class PendingSend:
-    """The information a :class:`DelayModel` may base its decision on."""
+    """The information a :class:`DelayModel` may base its decision on.
+
+    Attributes
+    ----------
+    sender, recipient:
+        Processor ids of the two endpoints.
+    payload:
+        The message content (delay models may inspect its type, e.g. to
+        throttle one traffic class).
+    send_time:
+        Virtual time of the send.
+    after_gst:
+        Whether ``send_time >= GST``.
+    """
 
     sender: int
     recipient: int
@@ -107,7 +161,13 @@ class PendingSend:
 
 
 class FixedDelay(DelayModel):
-    """Every message takes exactly ``delay`` time units (the synchronous case)."""
+    """Every message takes exactly ``delay`` time units (the synchronous case).
+
+    Parameters
+    ----------
+    delay:
+        The delay applied to every message; must be non-negative.
+    """
 
     def __init__(self, delay: float) -> None:
         if delay < 0:
@@ -122,7 +182,13 @@ class FixedDelay(DelayModel):
 
 
 class UniformDelay(DelayModel):
-    """Delays drawn uniformly from ``[low, high]`` using the simulator's RNG."""
+    """Delays drawn uniformly from ``[low, high]`` using the simulator's RNG.
+
+    Parameters
+    ----------
+    low, high:
+        Bounds of the uniform range; need ``0 <= low <= high``.
+    """
 
     def __init__(self, low: float, high: float) -> None:
         if low < 0 or high < low:
@@ -143,6 +209,13 @@ class PreGSTChaos(DelayModel):
     Before GST, every message is delayed by a value drawn uniformly from
     ``[0, pre_gst_max_delay]`` (the network clamp still guarantees delivery by
     ``GST + Delta``).  After GST the wrapped ``post_model`` decides.
+
+    Parameters
+    ----------
+    post_model:
+        Delay model governing messages sent at or after GST.
+    pre_gst_max_delay:
+        Upper bound of the uniform pre-GST delay distribution.
     """
 
     def __init__(self, post_model: DelayModel, pre_gst_max_delay: float = 50.0) -> None:
@@ -171,6 +244,14 @@ class AdversarialDelay(DelayModel):
     is only sound for module-level functions; campaigns reject lambdas and
     closures, whose qualnames collide across different captured parameters —
     give those a distinctive ``name``.
+
+    Parameters
+    ----------
+    fn:
+        Callable ``(pending_send, sim) -> delay`` deciding each message.
+    name:
+        Stable identifier used by ``describe()``; required for lambdas and
+        closures (see above).
     """
 
     def __init__(self, fn: Callable[[PendingSend, Simulator], float], name: str = "") -> None:
@@ -195,6 +276,17 @@ class TargetedDelay(DelayModel):
     This captures attacks where the adversary slows down traffic to or from
     specific honest processors (e.g. to maximise the honest clock gap)
     without violating the post-GST bound.
+
+    Parameters
+    ----------
+    base:
+        Delay model for traffic not touching a target.
+    targets:
+        Processor ids under attack.
+    target_delay:
+        Proposed delay for targeted traffic (clamped by the network).
+    direction:
+        ``"to"`` (inbound), ``"from"`` (outbound) or ``"both"`` (default).
     """
 
     def __init__(
@@ -236,6 +328,16 @@ class Network:
     * ``send_listeners`` — called with each :class:`Envelope` when it is sent;
     * ``deliver_listeners`` — called with each :class:`Envelope` when it is
       delivered to its recipient.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that schedules deliveries.
+    config:
+        Timing parameters of the partial-synchrony model.
+    delay_model:
+        The network adversary; ``None`` means
+        ``FixedDelay(config.actual_delay)``.
     """
 
     def __init__(
@@ -259,7 +361,20 @@ class Network:
     # Registration
     # ------------------------------------------------------------------
     def register(self, process: Any) -> None:
-        """Register a process (anything with ``pid`` and ``deliver(payload, sender)``)."""
+        """Register a process as a message endpoint.
+
+        Parameters
+        ----------
+        process:
+            Anything with a ``pid`` attribute and a
+            ``deliver(payload, sender)`` method.  Ids must be unique;
+            processes never unregister.
+
+        Raises
+        ------
+        SimulationError
+            If a process with the same ``pid`` is already registered.
+        """
         pid = process.pid
         if pid in self._processes:
             raise SimulationError(f"process id {pid} registered twice")
@@ -284,8 +399,16 @@ class Network:
     def send(self, sender: int, recipient: int, payload: Any) -> Envelope:
         """Send ``payload`` from ``sender`` to ``recipient``.
 
-        Returns the :class:`Envelope`, whose ``deliver_time`` records when the
-        message will arrive.
+        Returns
+        -------
+        Envelope
+            The in-flight message; its ``deliver_time`` records when it will
+            arrive.
+
+        Raises
+        ------
+        SimulationError
+            If ``recipient`` is not a registered process id.
         """
         if recipient not in self._processes:
             raise SimulationError(f"unknown recipient {recipient}")
@@ -294,7 +417,23 @@ class Network:
     def broadcast(
         self, sender: int, payload: Any, include_self: bool = True
     ) -> list[Envelope]:
-        """Send ``payload`` from ``sender`` to every registered process."""
+        """Send ``payload`` from ``sender`` to every registered process.
+
+        Parameters
+        ----------
+        sender:
+            Sending processor id.
+        payload:
+            Message content, shared (not copied) across all envelopes.
+        include_self:
+            Whether to include the sender itself (the paper's convention;
+            the self-copy is delivered immediately).
+
+        Returns
+        -------
+        list[Envelope]
+            One envelope per recipient, in ascending processor-id order.
+        """
         now = self.sim.now
         listeners = self.send_listeners
         envelopes = []
@@ -305,7 +444,18 @@ class Network:
         return envelopes
 
     def multicast(self, sender: int, recipients: Sequence[int], payload: Any) -> list[Envelope]:
-        """Send ``payload`` from ``sender`` to each processor in ``recipients``."""
+        """Send ``payload`` from ``sender`` to each processor in ``recipients``.
+
+        Returns
+        -------
+        list[Envelope]
+            One envelope per recipient, in ``recipients`` order.
+
+        Raises
+        ------
+        SimulationError
+            If any recipient is not a registered process id.
+        """
         now = self.sim.now
         listeners = self.send_listeners
         processes = self._processes
@@ -355,7 +505,7 @@ class Network:
             send_time=now,
             after_gst=after_gst,
         )
-        raw_delay = max(0.0, self.delay_model.propose_delay(pending, self.sim))
+        raw_delay = max(self.config.min_delay, self.delay_model.propose_delay(pending, self.sim))
         deadline = max(self.config.gst, now) + self.config.delta
         return min(now + raw_delay, deadline)
 

@@ -80,6 +80,21 @@ class Process:
         self.crashed = True
         self.trace("crash")
 
+    def recover(self) -> None:
+        """Restart a crashed process: it resumes sending and receiving.
+
+        Recovery is deliberately minimal: the local clock kept running and any
+        timers armed before the crash were never cancelled, so the process
+        rejoins exactly where a real restarted replica with persisted state
+        would — alive, but having missed every message sent while it was down
+        (the network drops deliveries to crashed processes, it never queues
+        them).
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.trace("recover")
+
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------

@@ -193,6 +193,47 @@ def test_execution_order_survives_compaction():
     assert all(handle.fired for handle in keep)
 
 
+# ----------------------------------------------------------------------
+# Same-timestamp event budget (zero-delay livelock guard)
+# ----------------------------------------------------------------------
+def test_zero_delay_event_chain_raises_instead_of_livelocking():
+    sim = Simulator()
+    sim.MAX_EVENTS_PER_TIMESTAMP = 50  # shrink the budget for the test
+
+    def reschedule():
+        sim.schedule(0.0, reschedule)
+
+    sim.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError, match="timestamp"):
+        sim.run(until=10.0)
+    assert sim.now == 0.0  # virtual time never advanced
+
+
+def test_event_budget_resets_when_time_advances():
+    sim = Simulator()
+    sim.MAX_EVENTS_PER_TIMESTAMP = 10
+    fired = []
+
+    def advance():
+        fired.append(sim.now)
+        if len(fired) < 50:
+            sim.schedule(0.1, advance)
+
+    sim.schedule(0.1, advance)
+    sim.run()  # 50 events, but only one per timestamp: never trips the budget
+    assert len(fired) == 50
+
+
+def test_event_budget_allows_bursts_within_the_cap():
+    sim = Simulator()
+    sim.MAX_EVENTS_PER_TIMESTAMP = 10
+    fired = []
+    for i in range(10):
+        sim.schedule(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
 def test_repr_reports_active_events():
     sim = Simulator()
     handle = sim.schedule(1.0, lambda: None)

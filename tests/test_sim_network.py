@@ -174,6 +174,83 @@ def test_uniform_delay_stays_within_range():
 
 
 # ----------------------------------------------------------------------
+# The min_delay floor (zero-delay livelock guard)
+# ----------------------------------------------------------------------
+def test_config_rejects_negative_min_delay():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(min_delay=-0.1)
+
+
+def test_config_rejects_min_delay_above_delta():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(delta=1.0, min_delay=2.0)
+
+
+def test_min_delay_floors_a_zero_delay_model():
+    sim = Simulator(seed=1)
+    net = Network(
+        sim,
+        NetworkConfig(delta=1.0, actual_delay=0.1, min_delay=0.05),
+        FixedDelay(0.0),
+    )
+    sinks = [Sink(i, sim) for i in range(2)]
+    for sink in sinks:
+        net.register(sink)
+    net.send(0, 1, "floored")
+    sim.run()
+    assert sinks[1].received[0][2] == pytest.approx(0.05)
+
+
+def test_min_delay_does_not_slow_self_messages():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(min_delay=0.5), FixedDelay(0.0))
+    sink = Sink(0, sim)
+    net.register(sink)
+    net.send(0, 0, "to-self")
+    sim.run()
+    assert sink.received[0][2] == pytest.approx(0.0)
+
+
+class PingPong(Sink):
+    """Replies to every delivery, creating an unbounded message chain."""
+
+    def __init__(self, pid: int, sim: Simulator, net: Network) -> None:
+        super().__init__(pid, sim)
+        self.net = net
+
+    def deliver(self, payload, sender):
+        super().deliver(payload, sender)
+        self.net.send(self.pid, sender, payload)
+
+
+def test_zero_delay_model_without_floor_raises_instead_of_hanging():
+    sim = Simulator(seed=1)
+    sim.MAX_EVENTS_PER_TIMESTAMP = 100
+    net = Network(sim, NetworkConfig(delta=1.0, actual_delay=0.1), FixedDelay(0.0))
+    players = [PingPong(i, sim, net) for i in range(2)]
+    for player in players:
+        net.register(player)
+    net.send(0, 1, "ball")
+    with pytest.raises(SimulationError, match="timestamp"):
+        sim.run(until=5.0)
+
+
+def test_zero_delay_model_with_floor_terminates():
+    sim = Simulator(seed=1)
+    net = Network(
+        sim,
+        NetworkConfig(delta=1.0, actual_delay=0.1, min_delay=0.01),
+        FixedDelay(0.0),
+    )
+    players = [PingPong(i, sim, net) for i in range(2)]
+    for player in players:
+        net.register(player)
+    net.send(0, 1, "ball")
+    sim.run(until=5.0)
+    assert sim.now == 5.0  # virtual time advances; run(until=...) returns
+
+
+# ----------------------------------------------------------------------
 # Observation hooks
 # ----------------------------------------------------------------------
 def test_send_and_deliver_listeners_fire():

@@ -5,7 +5,8 @@ available (offline installs), in which case PEP-660 editable installs fail
 with ``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` allows
 ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
 ``python setup.py develop``) to work everywhere; all metadata lives in
-``pyproject.toml``.
+``pyproject.toml``, which single-sources the version from
+``src/repro/version.py``.
 """
 
 from setuptools import setup

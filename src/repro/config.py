@@ -37,19 +37,36 @@ class ProtocolConfig:
         ``x >= 2``; our chained-HotStuff substrate completes a view in three
         message hops after the leader enters it, so the default is 4 to
         leave slack for the leader entering last.
+    crypto_backend:
+        Name of the :class:`~repro.crypto.backend.CryptoBackend` every
+        signature, partial signature and block id is derived through (see
+        :func:`repro.crypto.backend.available_backends`).  ``"hashing"`` is
+        the stable default; ``"counting"`` trades cross-run-stable digests
+        for O(1) structural tokens — the large-``n`` fast path.
     """
 
     n: int = 4
     delta: float = 1.0
     x: int = 4
+    crypto_backend: str = "hashing"
 
     def __post_init__(self) -> None:
+        # Local import: the crypto package is a leaf dependency of this
+        # module only for name validation; importing it lazily keeps config
+        # importable without pulling the whole crypto layer at startup.
+        from repro.crypto.backend import available_backends
+
         if self.n < 4:
             raise ConfigurationError(f"n must be at least 4 (so that f >= 1), got {self.n}")
         if self.delta <= 0:
             raise ConfigurationError(f"delta must be positive, got {self.delta}")
         if self.x < 2:
             raise ConfigurationError(f"x must be at least 2 (paper, Section 2), got {self.x}")
+        if self.crypto_backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown crypto backend {self.crypto_backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
 
     @property
     def f(self) -> int:

@@ -12,8 +12,15 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Optional
 
-from repro.crypto.hashing import digest
+from repro.crypto.backend import get_default_backend
 from repro.errors import ConsensusError
+
+#: Sentinel id shared by the genesis block and the ``parent_id`` meaning "no
+#: parent".  It is a fixed string — never derived from a crypto backend — so
+#: the module-level :data:`GENESIS` block stays valid across runs even when
+#: scenarios install different backends (a cached backend-minted id could
+#: collide with a later run's token space).
+GENESIS_ID = "genesis"
 
 
 @dataclass(frozen=True)
@@ -42,8 +49,24 @@ class Block:
 
     @cached_property
     def block_id(self) -> str:
-        """Content-derived identifier of the block (hashed once, then cached)."""
-        return digest("block", self.view, self.parent_id, self.proposer, self.payload)
+        """Content-derived identifier of the block (digested once, then cached).
+
+        Uses the process-default :class:`~repro.crypto.backend.CryptoBackend`
+        (``build_scenario`` installs the run's backend before any block is
+        created).  Genesis (``view < 0``) gets the fixed :data:`GENESIS_ID`
+        instead, because the module-level :data:`GENESIS` object outlives any
+        single run's backend.
+
+        ``cached_property`` needs an instance ``__dict__``, which is why
+        ``Block`` is the one protocol dataclass without ``slots=True`` —
+        blocks are per-view, not per-message, so they do not dominate
+        allocation the way wire messages do.
+        """
+        if self.view < 0:
+            return GENESIS_ID
+        return get_default_backend().digest(
+            "block", self.view, self.parent_id, self.proposer, self.payload
+        )
 
     def __repr__(self) -> str:
         return (
@@ -52,8 +75,9 @@ class Block:
         )
 
 
-# The genesis block: view -1, no parent, no proposer.
-GENESIS = Block(view=-1, parent_id="genesis", proposer=-1, payload=(), justify_view=-1)
+# The genesis block: view -1, no parent, no proposer.  Its id and parent_id
+# are both the GENESIS_ID sentinel; BlockTree.parent special-cases it.
+GENESIS = Block(view=-1, parent_id=GENESIS_ID, proposer=-1, payload=(), justify_view=-1)
 
 
 class BlockTree:
@@ -69,7 +93,7 @@ class BlockTree:
         """Insert a block.  The parent must already be known (or be genesis)."""
         if block.block_id in self._blocks:
             return
-        if block.parent_id not in self._blocks and block.parent_id != "genesis":
+        if block.parent_id not in self._blocks and block.parent_id != GENESIS_ID:
             raise ConsensusError(
                 f"block {block.block_id[:8]} references unknown parent {block.parent_id[:8]}"
             )

@@ -23,7 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Optional
 
-from repro.consensus.blocks import Block, GENESIS
+from repro.consensus.blocks import Block, GENESIS, GENESIS_ID
 from repro.consensus.messages import (
     ConsensusMessage,
     NewView,
@@ -246,7 +246,7 @@ class ChainedHotStuff(ConsensusEngine):
     def _vote_on(self, msg: Proposal) -> None:
         replica = self.replica
         block = msg.block
-        if block.parent_id not in self.tree and block.parent_id != "genesis":
+        if block.parent_id not in self.tree and block.parent_id != GENESIS_ID:
             # Parent unknown: remember the proposal; we may receive the parent
             # via a QCAnnounce shortly.
             self._orphans.setdefault(block.parent_id, []).append(block)
@@ -301,7 +301,7 @@ class ChainedHotStuff(ConsensusEngine):
     def _store_block(self, block: Block) -> None:
         if block.block_id in self.tree:
             return
-        if block.parent_id not in self.tree and block.parent_id != "genesis":
+        if block.parent_id not in self.tree and block.parent_id != GENESIS_ID:
             self._orphans.setdefault(block.parent_id, []).append(block)
             return
         self.tree.add(block)

@@ -15,14 +15,14 @@ from repro.consensus.quorum import QuorumCertificate
 from repro.crypto.threshold import PartialSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConsensusMessage:
     """Base class for all messages handled by the consensus engine."""
 
     view: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Proposal(ConsensusMessage):
     """Leader's proposal for a view: a block plus the QC justifying it."""
 
@@ -30,7 +30,7 @@ class Proposal(ConsensusMessage):
     justify: Optional[QuorumCertificate]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Vote(ConsensusMessage):
     """A replica's vote (partial threshold signature) on a proposed block."""
 
@@ -38,7 +38,7 @@ class Vote(ConsensusMessage):
     partial: PartialSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QCAnnounce(ConsensusMessage):
     """Leader's broadcast of a freshly formed QC for its view.
 
@@ -50,7 +50,7 @@ class QCAnnounce(ConsensusMessage):
     block: Block
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewView(ConsensusMessage):
     """Status message carrying a replica's highest QC to the new leader.
 

@@ -17,7 +17,7 @@ from repro.crypto.threshold import PartialSignature, ThresholdScheme, ThresholdS
 from repro.errors import ThresholdError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuorumCertificate:
     """Certificate that view ``view`` completed on block ``block_id``."""
 

@@ -66,6 +66,12 @@ class Replica(Process):
         self.pacemaker = pacemaker_factory(self)
         self._schedule_downtime()
 
+    @property
+    def crypto_backend(self):
+        """The :class:`~repro.crypto.backend.CryptoBackend` this replica's
+        scheme (and hence all of its signing/verification) digests with."""
+        return self.scheme.backend
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -34,7 +34,8 @@ class CertificateCollector:
         if view in self._formed:
             return None
         payload = self.payload_fn(view)
-        if not self.scheme.verify_partial(partial, payload):
+        payload_digest = self.scheme.backend.digest(payload)
+        if not self.scheme.verify_partial(partial, payload, message_digest=payload_digest):
             return None
         if partial.signer != sender:
             return None
@@ -76,8 +77,11 @@ class EpochMessageCollector:
 
     def add(self, view: int, sender: int, partial: PartialSignature) -> tuple[bool, bool]:
         """Record an epoch-view message; report threshold crossings."""
+        if partial.signer != sender:
+            return (False, False)
         payload = self.payload_fn(view)
-        if partial.signer != sender or not self.scheme.verify_partial(partial, payload):
+        payload_digest = self.scheme.backend.digest(payload)
+        if not self.scheme.verify_partial(partial, payload, message_digest=payload_digest):
             return (False, False)
         signers = self._signers.setdefault(view, set())
         signers.add(sender)

@@ -54,6 +54,18 @@ class LumiereConfig:
             raise ConfigurationError(f"epoch_rounds must be >= 1, got {self.epoch_rounds}")
         if self.gamma_override is not None and self.gamma_override <= 0:
             raise ConfigurationError("gamma_override must be positive")
+        # The success tracker counts a leader as qualified the moment its
+        # QC-set *reaches* the quota, so a quota (or leader requirement)
+        # below 1 is meaningless — reject it instead of silently never (or
+        # always) satisfying the criterion.
+        if self.success_qcs_override is not None and self.success_qcs_override < 1:
+            raise ConfigurationError(
+                f"success_qcs_override must be >= 1, got {self.success_qcs_override}"
+            )
+        if self.success_leaders_override is not None and self.success_leaders_override < 1:
+            raise ConfigurationError(
+                f"success_leaders_override must be >= 1, got {self.success_leaders_override}"
+            )
 
     # ------------------------------------------------------------------
     # Derived parameters

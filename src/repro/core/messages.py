@@ -36,7 +36,7 @@ def epoch_view_message_payload(view: int) -> tuple:
     return ("lumiere-epoch-view", view)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewMessage(PacemakerMessage):
     """A processor's signed wish to run initial view ``view``, sent to its leader."""
 
@@ -44,7 +44,7 @@ class ViewMessage(PacemakerMessage):
     partial: PartialSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewCertificate(PacemakerMessage):
     """A threshold signature of ``f+1`` view messages, broadcast by ``lead(view)``."""
 
@@ -52,7 +52,7 @@ class ViewCertificate(PacemakerMessage):
     aggregate: ThresholdSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochViewMessage(PacemakerMessage):
     """A processor's signed wish to start the epoch beginning at ``view``, broadcast to all."""
 

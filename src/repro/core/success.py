@@ -24,6 +24,13 @@ class SuccessTracker:
         self.leader_of = leader_of
         self._qc_views: dict[int, dict[int, set[int]]] = {}
         self._satisfied: set[int] = set()
+        # Number of leaders currently meeting the per-leader quota, per epoch,
+        # maintained incrementally: observe_qc is called for every QC at every
+        # replica, so rescanning all leaders there was an O(n) cost per QC
+        # that dominated large-n profiles.
+        self._qualified: dict[int, int] = {}
+        self._quota = config.success_qcs_per_leader
+        self._required = config.success_leaders_required
 
     def observe_qc(self, qc: QuorumCertificate) -> bool:
         """Record a QC.  Returns True if this observation *newly* satisfies the epoch."""
@@ -37,13 +44,15 @@ class SuccessTracker:
             return False
         leader = self.leader_of(view)
         per_leader = self._qc_views.setdefault(epoch, {})
-        per_leader.setdefault(leader, set()).add(view)
-        qualified = sum(
-            1
-            for views in per_leader.values()
-            if len(views) >= self.config.success_qcs_per_leader
-        )
-        if qualified >= self.config.success_leaders_required:
+        views = per_leader.setdefault(leader, set())
+        if view in views:
+            return False
+        views.add(view)
+        if len(views) != self._quota:
+            return False  # leader not *newly* qualified; counts unchanged
+        qualified = self._qualified.get(epoch, 0) + 1
+        self._qualified[epoch] = qualified
+        if qualified >= self._required:
             self._satisfied.add(epoch)
             return True
         return False

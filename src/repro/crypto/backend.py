@@ -1,0 +1,365 @@
+"""Pluggable crypto backends.
+
+Every cryptographic object in the reproduction — block ids, signatures,
+partial signatures, threshold proofs — reduces to calls of one primitive:
+``digest(*parts) -> str``, a deterministic, collision-free mapping from a
+payload structure to a short string.  The paper's results only need the
+*equality semantics* of that mapping (equal payloads map to equal digests,
+distinct payloads to distinct digests); the bytes themselves never matter.
+
+That observation makes the primitive pluggable.  Three backends exist:
+
+* :class:`HashingBackend` — canonicalise the payload structure and BLAKE2b
+  it (the historical behaviour, and the default).  Digests are stable
+  across runs and processes, so traces and golden values reproduce.
+* :class:`CountingBackend` — intern each distinct payload structure and
+  hand out a small sequential token instead of a hash.  O(1) per call
+  after the first sight of a payload, no canonicalisation, no hashing.
+  Semantically identical for honest-and-Byzantine-*as-modelled* runs: the
+  modelled adversary equivocates, withholds and delays but never forges
+  proof strings, so nothing ever depends on tokens being unguessable.
+  Tokens are only meaningful within the backend instance that minted them
+  (one simulation run); they must never cross runs.
+* :class:`MemoisingBackend` — a wrapper that interns the digests of any
+  inner backend per payload value, so repeated digests of the same payload
+  (every recipient of a broadcast verifying the same certificate, say) pay
+  the canonicalise-and-hash cost once.
+
+A backend is chosen per scenario via ``ScenarioConfig.crypto_backend`` /
+``ProtocolConfig.crypto_backend`` (see :func:`make_backend` for the names)
+and is itself a campaign sweep axis, which is how the scaling benchmark
+(``benchmarks/bench_scaling.py``) compares them.
+
+The process-wide *default* backend (:func:`get_default_backend`) serves the
+call sites that cannot carry an explicit backend reference — chiefly
+:attr:`repro.consensus.blocks.Block.block_id`, computed lazily on a frozen
+dataclass — and the module-level :func:`repro.crypto.hashing.digest`
+convenience function.  ``build_scenario`` installs the scenario's backend
+as the default for the run it builds; simulation runs are single-threaded
+per process, so this is sound as long as runs with different backends are
+not interleaved within one process (the campaign executors never do).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+DIGEST_SIZE_BYTES = 16
+
+# Sentinels distinguishing structural kinds inside frozen keys, mirroring the
+# distinct delimiters _canonical() uses for dicts vs sequences.
+_DICT_MARK = "\x00dict"
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Render a payload into canonical bytes for hashing.
+
+    Tuples, lists, dicts, dataclass-like reprs and primitives all reduce to a
+    stable textual form.  Sets are sorted to remove ordering nondeterminism.
+    """
+    if isinstance(payload, bytes):
+        return payload
+    if isinstance(payload, str):
+        return payload.encode("utf-8")
+    if isinstance(payload, (int, float, bool)) or payload is None:
+        return repr(payload).encode("utf-8")
+    if isinstance(payload, (frozenset, set)):
+        inner = b",".join(sorted(canonical_bytes(item) for item in payload))
+        return b"{" + inner + b"}"
+    if isinstance(payload, (tuple, list)):
+        inner = b",".join(canonical_bytes(item) for item in payload)
+        return b"(" + inner + b")"
+    if isinstance(payload, dict):
+        inner = b",".join(
+            canonical_bytes(key) + b":" + canonical_bytes(value)
+            for key, value in sorted(payload.items())
+        )
+        return b"[" + inner + b"]"
+    fields = getattr(payload, "__dataclass_fields__", None)
+    if fields is not None:
+        # Dataclasses (wire messages, certificates, blocks) canonicalise by
+        # recursing into their full field contents.  The historical repr
+        # fallback was lossy here: custom __repr__s truncate digests to 8
+        # characters and summarise signer sets, so two *different* payloads
+        # could canonicalise identically.
+        inner = b",".join(canonical_bytes(getattr(payload, name)) for name in fields)
+        return b"<" + type(payload).__name__.encode("utf-8") + b":" + inner + b">"
+    return repr(payload).encode("utf-8")
+
+
+def blake_digest(*parts: Any) -> str:
+    """The pure hash primitive: a short BLAKE2b hex digest binding ``parts``.
+
+    This is :class:`HashingBackend`'s computation, exposed as a function for
+    callers that need a digest independent of any backend choice (golden
+    values, content-addressed caches).
+    """
+    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE_BYTES)
+    for part in parts:
+        hasher.update(canonical_bytes(part))
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+def _freeze(value: Any) -> Any:
+    """Reduce a payload structure to a hashable key with the same equality
+    semantics as :func:`canonical_bytes`: lists equal tuples, sets equal
+    frozensets, dict keys are order-insensitive.
+
+    Hashable values pass through unchanged — the raw-key fast path in the
+    interning backends uses the value itself, so freezing must be the
+    identity there for the two key forms to agree.  Unhashable dataclasses
+    (a wire message with a list-valued field, say) decompose into their
+    field contents, mirroring the dataclass case of :func:`canonical_bytes`.
+    """
+    if isinstance(value, (tuple, list)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return (_DICT_MARK, tuple(sorted((_freeze(k), _freeze(v)) for k, v in value.items())))
+    fields = getattr(value, "__dataclass_fields__", None)
+    if fields is not None:
+        try:
+            hash(value)
+        except TypeError:
+            return (
+                type(value).__name__,
+                tuple(_freeze(getattr(value, name)) for name in fields),
+            )
+    return value
+
+
+class CryptoBackend(ABC):
+    """Strategy providing the digest primitive the crypto layer is built on.
+
+    Subclasses implement :meth:`_compute`; the public :meth:`digest` wraps it
+    with call accounting so tests and benchmarks can observe how much digest
+    work a run performed (``digest_calls``) versus how much of it was
+    genuinely computed rather than served from an intern table
+    (``digest_computes``).
+    """
+
+    #: Machine-readable name used by the registry and in scenario configs.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Number of ``digest()`` requests served.
+        self.digest_calls = 0
+        #: Number of requests that performed the backend's full computation
+        #: (for interning backends this is the miss count).
+        self.digest_computes = 0
+
+    def digest(self, *parts: Any) -> str:
+        """Return a short string digest binding all ``parts`` together.
+
+        Equal part structures yield equal digests; distinct structures yield
+        distinct digests (up to hash collisions for the hashing backend).
+        """
+        self.digest_calls += 1
+        return self._compute(*parts)
+
+    @abstractmethod
+    def _compute(self, *parts: Any) -> str:
+        """Backend-specific digest computation (no accounting)."""
+
+    def reset_counters(self) -> None:
+        """Zero the call/compute counters (benchmarks call this between phases)."""
+        self.digest_calls = 0
+        self.digest_computes = 0
+
+    def describe(self) -> str:
+        """Human-readable description used in reports and cache fingerprints."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(calls={self.digest_calls}, "
+            f"computes={self.digest_computes})"
+        )
+
+
+class HashingBackend(CryptoBackend):
+    """Canonicalise-and-BLAKE2b digests — the historical default.
+
+    Digests are stable across runs, processes and machines, which makes this
+    the right backend for tests with golden values and for anything written
+    to disk.  It is also the slowest: every call re-canonicalises the whole
+    payload structure and hashes it.
+    """
+
+    name = "hashing"
+
+    def _compute(self, *parts: Any) -> str:
+        self.digest_computes += 1
+        return blake_digest(*parts)
+
+
+class CountingBackend(CryptoBackend):
+    """O(1) structural tokens instead of hashes.
+
+    Each distinct payload structure is interned on first sight and mapped to
+    a short sequential token (``~0``, ``~1``, ...).  Equality semantics match
+    :class:`HashingBackend` (lists equal tuples, sets are order-insensitive),
+    so honest-and-Byzantine-as-modelled runs are semantically identical —
+    the modelled adversary never forges proof strings, so nothing depends on
+    digests being unguessable.  Two deliberate differences:
+
+    * tokens are only meaningful within this backend instance (one run);
+      they must never be compared across runs or persisted;
+    * payloads that are equal *as Python values* but canonicalise
+      differently (``True`` vs ``1``) share a token here.  No protocol
+      payload mixes such values in one position.
+
+    The intern table grows with the number of distinct payloads in a run;
+    for the simulation workloads this is bounded by views x n and has never
+    been a concern.
+    """
+
+    name = "counting"
+
+    # Each instance mints tokens in its own namespace (``~<instance>:<n>``),
+    # so a token that leaks across runs — e.g. a digest string cached on an
+    # object that outlives its run while a later run installs a fresh
+    # counting backend — can never *collide* with the later run's tokens.
+    # Leaked tokens are still meaningless outside their run; they just fail
+    # comparisons instead of silently matching.
+    _INSTANCE_COUNTER = itertools.count()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tokens: dict[Any, str] = {}
+        self._prefix = f"~{next(self._INSTANCE_COUNTER):x}:"
+
+    @property
+    def distinct_payloads(self) -> int:
+        """Number of distinct payload structures interned so far."""
+        return len(self._tokens)
+
+    def _compute(self, *parts: Any) -> str:
+        tokens = self._tokens
+        key: Any = parts
+        try:
+            token = tokens.get(key)
+        except TypeError:  # unhashable part (a list of signers, say)
+            key = _freeze(parts)
+            token = tokens.get(key)
+        if token is None:
+            self.digest_computes += 1
+            token = f"{self._prefix}{len(tokens):x}"
+            tokens[key] = token
+        return token
+
+
+class MemoisingBackend(CryptoBackend):
+    """Intern the digests of an inner backend per payload value.
+
+    Repeated digests of the same payload — every recipient of a broadcast
+    verifying the same certificate, every vote re-verified at aggregation —
+    pay the inner backend's cost once.  Digest *values* are the inner
+    backend's, so ``MemoisingBackend(HashingBackend())`` is bit-identical to
+    plain hashing, just faster on repetitive workloads at the price of the
+    memo table's memory.
+    """
+
+    name = "interned"
+
+    def __init__(self, inner: CryptoBackend | None = None) -> None:
+        super().__init__()
+        self.inner = inner if inner is not None else HashingBackend()
+        self._memo: dict[Any, str] = {}
+        #: Requests served from the memo table.
+        self.hits = 0
+
+    def _compute(self, *parts: Any) -> str:
+        memo = self._memo
+        key: Any = parts
+        try:
+            cached = memo.get(key)
+        except TypeError:
+            key = _freeze(parts)
+            cached = memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.digest_computes += 1
+        value = self.inner.digest(*parts)
+        memo[key] = value
+        return value
+
+    def describe(self) -> str:
+        return f"{self.name}({self.inner.describe()})"
+
+
+#: Registered backend factories, keyed by the name used in configs.
+_BACKEND_FACTORIES: dict[str, Callable[[], CryptoBackend]] = {
+    "hashing": HashingBackend,
+    "counting": CountingBackend,
+    "interned": MemoisingBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`make_backend` (and by the config layer)."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def make_backend(name: str) -> CryptoBackend:
+    """Construct a fresh backend instance by registered name.
+
+    A *fresh* instance matters: counting tokens and memo tables are only
+    meaningful within one run, so every scenario build gets its own.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not a registered backend name.
+    """
+    try:
+        factory = _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown crypto backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default backend
+# ----------------------------------------------------------------------
+_default_backend: CryptoBackend = HashingBackend()
+
+
+def get_default_backend() -> CryptoBackend:
+    """The backend serving call sites without an explicit backend reference
+    (lazy ``Block.block_id`` derivation, the module-level ``digest()``)."""
+    return _default_backend
+
+
+def set_default_backend(backend: CryptoBackend) -> CryptoBackend:
+    """Install ``backend`` as the process default; returns the previous one.
+
+    ``build_scenario`` calls this with each run's backend.  Runs are
+    single-threaded per process, so the only unsupported pattern is
+    interleaving two runs with *different* backends in one process.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: CryptoBackend) -> Iterator[CryptoBackend]:
+    """Context manager installing ``backend`` as the default, then restoring."""
+    previous = set_default_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_default_backend(previous)

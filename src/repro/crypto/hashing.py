@@ -1,49 +1,40 @@
 """Deterministic hashing of protocol payloads.
 
-Hashes are used as block identifiers and as the message component of
+Digests are used as block identifiers and as the message component of
 signatures.  They need to be deterministic across runs (so traces are
-reproducible) and collision-free for the objects we hash; a truncated
-BLAKE2b over a canonical ``repr`` of the payload is plenty for both.
+reproducible) and collision-free for the objects we hash.
+
+Since the crypto-backend refactor the *primitive* lives in
+:mod:`repro.crypto.backend`: :func:`digest` here delegates to the installed
+default backend (hashing unless a scenario chose otherwise), and
+:func:`repro.crypto.backend.blake_digest` is the pure canonicalise-and-
+BLAKE2b function for callers that need backend-independent stable digests.
+This module remains the convenience entry point.
 """
 
 from __future__ import annotations
 
-import hashlib
 from typing import Any
 
-DIGEST_SIZE_BYTES = 16
+from repro.crypto.backend import (
+    DIGEST_SIZE_BYTES,
+    blake_digest,
+    canonical_bytes,
+    get_default_backend,
+)
 
+__all__ = ["DIGEST_SIZE_BYTES", "blake_digest", "canonical_bytes", "digest"]
 
-def _canonical(payload: Any) -> bytes:
-    """Render a payload into canonical bytes for hashing.
-
-    Tuples, lists, dicts, dataclass-like reprs and primitives all reduce to a
-    stable textual form.  Sets are sorted to remove ordering nondeterminism.
-    """
-    if isinstance(payload, bytes):
-        return payload
-    if isinstance(payload, str):
-        return payload.encode("utf-8")
-    if isinstance(payload, (int, float, bool)) or payload is None:
-        return repr(payload).encode("utf-8")
-    if isinstance(payload, (frozenset, set)):
-        inner = b",".join(sorted(_canonical(item) for item in payload))
-        return b"{" + inner + b"}"
-    if isinstance(payload, (tuple, list)):
-        inner = b",".join(_canonical(item) for item in payload)
-        return b"(" + inner + b")"
-    if isinstance(payload, dict):
-        inner = b",".join(
-            _canonical(key) + b":" + _canonical(value) for key, value in sorted(payload.items())
-        )
-        return b"[" + inner + b"]"
-    return repr(payload).encode("utf-8")
+# Backwards-compatible alias for the canonical renderer's historical name.
+_canonical = canonical_bytes
 
 
 def digest(*parts: Any) -> str:
-    """Return a short hex digest binding all ``parts`` together."""
-    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE_BYTES)
-    for part in parts:
-        hasher.update(_canonical(part))
-        hasher.update(b"|")
-    return hasher.hexdigest()
+    """Return a short digest binding all ``parts`` together.
+
+    Delegates to the process-default :class:`~repro.crypto.backend.CryptoBackend`,
+    so code using this convenience function automatically follows the
+    backend a scenario installed.  Use :func:`blake_digest` when a stable
+    cross-run hex digest is required regardless of backend.
+    """
+    return get_default_backend().digest(*parts)

@@ -5,22 +5,27 @@ A :class:`Signature` over a message digest can only be produced through the
 the owning processor.  Byzantine processors therefore can sign arbitrary
 *contents* in their own name but can never forge signatures of honest
 processors — exactly the adversary the paper assumes.
+
+All digests flow through a :class:`~repro.crypto.backend.CryptoBackend`.
+Keys bind the backend at construction (defaulting to the process default),
+and a :class:`PKI` threads one shared backend into every key it generates —
+a whole key ceremony therefore agrees on digest semantics by construction.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
 from repro.errors import CryptoError, InvalidSignature
-from repro.crypto.hashing import digest
+from repro.crypto.backend import CryptoBackend, get_default_backend
 
 # Monotonic counter giving each SigningKey an unforgeable secret token.
 _SECRET_COUNTER = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Signature:
     """A signature by ``signer`` over ``message_digest``.
 
@@ -39,14 +44,30 @@ class Signature:
 class SigningKey:
     """The private half of a key pair.  Only its owner can mint signatures."""
 
-    def __init__(self, owner: int) -> None:
+    __slots__ = ("owner", "_secret", "_backend")
+
+    def __init__(self, owner: int, backend: Optional[CryptoBackend] = None) -> None:
         self.owner = owner
         self._secret = next(_SECRET_COUNTER)
+        self._backend = backend if backend is not None else get_default_backend()
+
+    @property
+    def backend(self) -> CryptoBackend:
+        """The crypto backend this key digests with."""
+        return self._backend
 
     def sign(self, message: Any) -> Signature:
-        """Sign an arbitrary message (hashed canonically first)."""
-        message_digest = digest(message)
-        proof = digest("sig", self.owner, self._secret, message_digest)
+        """Sign an arbitrary message (digested canonically first)."""
+        return self.sign_digest(self._backend.digest(message))
+
+    def sign_digest(self, message_digest: str) -> Signature:
+        """Sign an already-computed message digest.
+
+        The hot-path variant: callers that digested the message themselves
+        (the threshold scheme hoists the digest out of its verify/aggregate
+        loops) avoid a second canonicalisation here.
+        """
+        proof = self._backend.digest("sig", self.owner, self._secret, message_digest)
         return Signature(signer=self.owner, message_digest=message_digest, proof=proof)
 
     # The secret is exposed (read-only) to the verifying key created alongside
@@ -59,22 +80,34 @@ class SigningKey:
 class VerifyingKey:
     """The public half of a key pair."""
 
-    def __init__(self, owner: int, secret_token: int) -> None:
+    __slots__ = ("owner", "_secret", "_backend")
+
+    def __init__(
+        self, owner: int, secret_token: int, backend: Optional[CryptoBackend] = None
+    ) -> None:
         self.owner = owner
         self._secret = secret_token
+        self._backend = backend if backend is not None else get_default_backend()
 
     def verify(self, signature: Signature, message: Any) -> bool:
         """Check that ``signature`` was produced by this key's owner over ``message``."""
+        return self.verify_digest(signature, self._backend.digest(message))
+
+    def verify_digest(self, signature: Signature, message_digest: str) -> bool:
+        """:meth:`verify` for callers that already digested the message.
+
+        Sound only when the caller computed ``message_digest`` itself (never
+        trust a digest carried inside the object being verified).
+        """
         if signature.signer != self.owner:
             return False
-        message_digest = digest(message)
         if signature.message_digest != message_digest:
             return False
-        expected = digest("sig", self.owner, self._secret, message_digest)
+        expected = self._backend.digest("sig", self.owner, self._secret, message_digest)
         return signature.proof == expected
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyPair:
     """A signing/verifying key pair for one processor."""
 
@@ -82,9 +115,10 @@ class KeyPair:
     verifying: VerifyingKey
 
     @classmethod
-    def generate(cls, owner: int) -> "KeyPair":
-        signing = SigningKey(owner)
-        verifying = VerifyingKey(owner, signing.secret_token)
+    def generate(cls, owner: int, backend: Optional[CryptoBackend] = None) -> "KeyPair":
+        backend = backend if backend is not None else get_default_backend()
+        signing = SigningKey(owner, backend=backend)
+        verifying = VerifyingKey(owner, signing.secret_token, backend=backend)
         return cls(signing=signing, verifying=verifying)
 
 
@@ -93,19 +127,23 @@ class PKI:
 
     The PKI also acts as the key-generation ceremony: :meth:`setup` creates a
     key pair per processor and returns the signing keys so the simulation can
-    hand each one to its owner.
+    hand each one to its owner.  One :class:`~repro.crypto.backend.CryptoBackend`
+    is shared by the PKI and every key it generates.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[CryptoBackend] = None) -> None:
+        self.backend = backend if backend is not None else get_default_backend()
         self._verifying: dict[int, VerifyingKey] = {}
 
     @classmethod
-    def setup(cls, processor_ids: Iterable[int]) -> tuple["PKI", dict[int, SigningKey]]:
+    def setup(
+        cls, processor_ids: Iterable[int], backend: Optional[CryptoBackend] = None
+    ) -> tuple["PKI", dict[int, SigningKey]]:
         """Generate keys for every processor and register the public halves."""
-        pki = cls()
+        pki = cls(backend=backend)
         signing_keys: dict[int, SigningKey] = {}
         for pid in processor_ids:
-            pair = KeyPair.generate(pid)
+            pair = KeyPair.generate(pid, backend=pki.backend)
             pki._verifying[pid] = pair.verifying
             signing_keys[pid] = pair.signing
         return pki, signing_keys
@@ -114,6 +152,16 @@ class PKI:
     def processor_ids(self) -> list[int]:
         """All processor ids with registered keys."""
         return sorted(self._verifying)
+
+    def covers(self, signers: Iterable[int]) -> bool:
+        """Whether every id in ``signers`` has a registered verifying key.
+
+        A set-operation on the key view (no list/sort per call), used by
+        aggregate verification on the hot path.
+        """
+        if not isinstance(signers, (set, frozenset)):
+            signers = set(signers)
+        return signers <= self._verifying.keys()
 
     def verifying_key(self, pid: int) -> VerifyingKey:
         """The verifying key for processor ``pid``."""
@@ -137,3 +185,11 @@ class PKI:
         except CryptoError:
             return False
         return True
+
+    def is_valid_digest(self, signature: Signature, message_digest: str) -> bool:
+        """:meth:`is_valid` for callers that already digested the message."""
+        try:
+            key = self.verifying_key(signature.signer)
+        except CryptoError:
+            return False
+        return key.verify_digest(signature, message_digest)

@@ -6,19 +6,25 @@ Certificates) and ``2f+1`` (Quorum Certificates, Epoch Certificates).  A
 here we keep the signer set only so that tests and metrics can inspect who
 contributed — the object still *counts* as a single constant-size message
 component, matching the paper's complexity accounting.
+
+All digest work flows through the scheme's
+:class:`~repro.crypto.backend.CryptoBackend` (shared with the PKI), and the
+message digest is hoisted out of the per-share loops: one ``combine`` or
+``verify`` call canonicalises the message once, however many shares it
+touches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.errors import ThresholdError
-from repro.crypto.hashing import digest
+from repro.crypto.backend import CryptoBackend
 from repro.crypto.signatures import PKI, Signature, SigningKey
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartialSignature:
     """One processor's share towards a threshold signature on ``message_digest``."""
 
@@ -30,7 +36,7 @@ class PartialSignature:
         return f"PartialSignature(signer={self.signer}, digest={self.message_digest[:8]}…)"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThresholdSignature:
     """An aggregated signature of at least ``threshold`` distinct processors."""
 
@@ -58,27 +64,48 @@ class ThresholdScheme:
     material: the PKI).  Minting a partial share still requires the signer's
     private :class:`SigningKey`, so the unforgeability argument carries over
     from :mod:`repro.crypto.signatures`.
+
+    Parameters
+    ----------
+    pki:
+        The public-key infrastructure shares are verified against.
+    backend:
+        Digest backend; defaults to the PKI's own, which keeps the whole
+        ceremony (keys, shares, aggregates) on one digest semantics.
     """
 
-    def __init__(self, pki: PKI) -> None:
+    def __init__(self, pki: PKI, backend: Optional[CryptoBackend] = None) -> None:
         self.pki = pki
+        self.backend = backend if backend is not None else pki.backend
 
     # ------------------------------------------------------------------
     # Shares
     # ------------------------------------------------------------------
     def partial_sign(self, key: SigningKey, message: Any) -> PartialSignature:
         """Create this signer's share over ``message``."""
-        message_digest = digest(message)
-        signature = key.sign(message)
+        message_digest = self.backend.digest(message)
+        signature = key.sign_digest(message_digest)
         return PartialSignature(
             signer=key.owner, message_digest=message_digest, signature=signature
         )
 
-    def verify_partial(self, partial: PartialSignature, message: Any) -> bool:
-        """Check one share against the PKI."""
-        if partial.message_digest != digest(message):
+    def verify_partial(
+        self,
+        partial: PartialSignature,
+        message: Any,
+        message_digest: Optional[str] = None,
+    ) -> bool:
+        """Check one share against the PKI.
+
+        ``message_digest`` lets loop-shaped callers (``combine``, the
+        certificate collectors) canonicalise the message once; it must be
+        the caller's own digest of ``message``, never one read off the wire.
+        """
+        if message_digest is None:
+            message_digest = self.backend.digest(message)
+        if partial.message_digest != message_digest:
             return False
-        return self.pki.is_valid(partial.signature, message)
+        return self.pki.is_valid_digest(partial.signature, message_digest)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -96,12 +123,12 @@ class ThresholdScheme:
         """
         if threshold <= 0:
             raise ThresholdError(f"threshold must be positive, got {threshold}")
-        message_digest = digest(message)
+        message_digest = self.backend.digest(message)
         valid_signers: set[int] = set()
         for partial in partials:
             if partial.message_digest != message_digest:
                 continue
-            if not self.verify_partial(partial, message):
+            if not self.verify_partial(partial, message, message_digest=message_digest):
                 continue
             valid_signers.add(partial.signer)
         if len(valid_signers) < threshold:
@@ -109,7 +136,13 @@ class ThresholdScheme:
                 f"need {threshold} distinct valid shares, got {len(valid_signers)}"
             )
         signers = frozenset(valid_signers)
-        proof = digest("threshold", message_digest, threshold, sorted(signers))
+        # The signer set is digested as a frozenset: canonicalisation sorts
+        # set elements, so the digest is deterministic, and the *same*
+        # frozenset object travels inside the aggregate to every verifier —
+        # its cached hash makes re-verification O(1) under the counting and
+        # interned backends (a sorted list here forced an O(n) walk per
+        # verification at every recipient).
+        proof = self.backend.digest("threshold", message_digest, threshold, signers)
         return ThresholdSignature(
             message_digest=message_digest,
             threshold=threshold,
@@ -119,14 +152,16 @@ class ThresholdScheme:
 
     def verify(self, aggregate: ThresholdSignature, message: Any) -> bool:
         """Verify an aggregated signature against ``message``."""
-        message_digest = digest(message)
+        message_digest = self.backend.digest(message)
         if aggregate.message_digest != message_digest:
             return False
         if aggregate.size < aggregate.threshold:
             return False
-        if not set(aggregate.signers) <= set(self.pki.processor_ids):
+        if not self.pki.covers(aggregate.signers):
             return False
-        expected = digest("threshold", message_digest, aggregate.threshold, sorted(aggregate.signers))
+        expected = self.backend.digest(
+            "threshold", message_digest, aggregate.threshold, aggregate.signers
+        )
         return aggregate.proof == expected
 
     def require_valid(self, aggregate: ThresholdSignature, message: Any) -> None:

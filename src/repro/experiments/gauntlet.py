@@ -59,8 +59,10 @@ def build_gauntlet_config(params: dict[str, Any]) -> ScenarioConfig:
 
     ``params`` must carry ``protocol``, ``scenario``, ``n``, ``delta``,
     ``actual_delay``, ``gst``, ``duration`` and ``seed``; an optional
-    ``scenario_params`` dict is forwarded to the named scenario.  Being
-    module-level keeps the builder picklable for the process-pool backend.
+    ``scenario_params`` dict is forwarded to the named scenario and an
+    optional ``crypto_backend`` name selects the digest backend (so
+    campaigns can sweep it).  Being module-level keeps the builder
+    picklable for the process-pool backend.
     """
     return ScenarioConfig(
         n=params["n"],
@@ -73,6 +75,7 @@ def build_gauntlet_config(params: dict[str, Any]) -> ScenarioConfig:
         record_trace=False,
         scenario=params["scenario"],
         scenario_params=dict(params.get("scenario_params", {})),
+        crypto_backend=params.get("crypto_backend", "hashing"),
     )
 
 

@@ -17,6 +17,7 @@ from repro.adversary.corruption import CorruptionPlan
 from repro.config import ProtocolConfig
 from repro.consensus.ledger import ledgers_consistent
 from repro.consensus.replica import Replica
+from repro.crypto.backend import CryptoBackend, make_backend, set_default_backend
 from repro.crypto.signatures import PKI
 from repro.crypto.threshold import ThresholdScheme
 from repro.errors import ConfigurationError
@@ -75,10 +76,18 @@ class ScenarioConfig:
     scenario: Optional[str] = None
     #: Parameter overrides for the named scenario (JSON-serializable values).
     scenario_params: dict[str, Any] = field(default_factory=dict)
+    #: Crypto backend name (see :func:`repro.crypto.backend.available_backends`):
+    #: ``"hashing"`` (stable digests, the default), ``"counting"`` (O(1)
+    #: structural tokens, the large-n fast path) or ``"interned"`` (memoised
+    #: hashing).  Semantically identical for modelled runs, so campaigns can
+    #: sweep this field directly — ``benchmarks/bench_scaling.py`` does.
+    crypto_backend: str = "hashing"
 
     def protocol_config(self) -> ProtocolConfig:
         """The shared :class:`ProtocolConfig` implied by this scenario."""
-        return ProtocolConfig(n=self.n, delta=self.delta, x=self.x)
+        return ProtocolConfig(
+            n=self.n, delta=self.delta, x=self.x, crypto_backend=self.crypto_backend
+        )
 
     def network_config(self) -> NetworkConfig:
         """The :class:`NetworkConfig` implied by this scenario."""
@@ -102,6 +111,9 @@ class ScenarioResult:
     replicas: dict[int, Replica]
     corruption: CorruptionPlan
     simulator: Simulator
+    #: The run's crypto backend instance (its counters expose how much digest
+    #: work the run performed); ``None`` only for hand-built results.
+    crypto_backend: Optional[CryptoBackend] = None
 
     # ------------------------------------------------------------------
     # Summaries
@@ -171,7 +183,8 @@ def build_spread_fault_config(params: dict[str, Any]) -> ScenarioConfig:
     evenly over the id space.
 
     ``params`` must carry ``n``, ``protocol``, ``delta``, ``actual_delay``,
-    ``duration``, ``seed`` and ``f_actual``.
+    ``duration``, ``seed`` and ``f_actual``; an optional ``crypto_backend``
+    name selects the digest backend (so campaigns can sweep it).
     """
     config = ScenarioConfig(
         n=params["n"],
@@ -182,6 +195,7 @@ def build_spread_fault_config(params: dict[str, Any]) -> ScenarioConfig:
         duration=params["duration"],
         seed=params["seed"],
         record_trace=False,
+        crypto_backend=params.get("crypto_backend", "hashing"),
     )
     config.corruption = spread_corruption(
         config.protocol_config(), params["f_actual"], SilentLeaderBehaviour
@@ -218,11 +232,21 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
     if corruption.config.n != protocol_config.n:
         raise ConfigurationError("corruption plan was built for a different system size")
 
+    # One fresh backend per run (counting tokens / memo tables must never
+    # cross runs), shared by the PKI, the threshold scheme and the network,
+    # and installed as the process default so lazily derived block ids use
+    # it too.  Runs are single-threaded per process; building two scenarios
+    # with *different* backends and interleaving their runs in one process
+    # is the one unsupported pattern (the campaign executors never do it).
+    crypto_backend = make_backend(protocol_config.crypto_backend)
+    set_default_backend(crypto_backend)
+
     simulator = Simulator(seed=config.seed)
     network = Network(
         simulator,
         config.network_config(),
         delay_model=delay_model or FixedDelay(config.actual_delay),
+        crypto_backend=crypto_backend,
     )
     trace = TraceRecorder(enabled=config.record_trace)
     ctx = SimContext(sim=simulator, network=network, trace=trace)
@@ -231,7 +255,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
     metrics.set_honest(corruption.honest_ids)
     metrics.attach_network(network)
 
-    pki, signing_keys = PKI.setup(protocol_config.processor_ids)
+    pki, signing_keys = PKI.setup(protocol_config.processor_ids, backend=crypto_backend)
     scheme = ThresholdScheme(pki)
 
     replicas: dict[int, Replica] = {}
@@ -259,6 +283,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
         replicas=replicas,
         corruption=corruption,
         simulator=simulator,
+        crypto_backend=crypto_backend,
     )
 
 

@@ -28,7 +28,7 @@ from typing import Iterable, Optional
 from repro.sim.network import Envelope
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecisionRecord:
     """One QC produced by a leader for its own view."""
 
@@ -38,7 +38,7 @@ class DecisionRecord:
     leader_honest: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageRecord:
     """One message sent by an honest processor (self-deliveries excluded)."""
 
@@ -48,7 +48,7 @@ class MessageRecord:
     kind: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitRecord:
     """One block commit observed at one replica."""
 
@@ -70,6 +70,9 @@ class MetricsCollector:
         self.view_entries: dict[int, list[tuple[float, int]]] = {}
         self.epoch_syncs: list[tuple[float, int, int]] = []  # (time, pid, epoch)
         self.qc_count = 0
+        # Distinct payload contents honest processors put on the wire, from
+        # Envelope.payload_digest (networks with a crypto backend attached).
+        self._payload_digests: set[str] = set()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -99,6 +102,8 @@ class MetricsCollector:
         )
         self.messages.append(record)
         self._message_times.append(envelope.send_time)
+        if envelope.payload_digest is not None:
+            self._payload_digests.add(envelope.payload_digest)
 
     def record_decision(self, time: float, view: int, leader: int) -> None:
         """Record that ``leader`` produced a QC for its own view ``view``."""
@@ -148,6 +153,20 @@ class MetricsCollector:
     def total_honest_messages(self) -> int:
         """Total messages sent by honest processors during the run."""
         return len(self.messages)
+
+    @property
+    def distinct_payloads_sent(self) -> int:
+        """Distinct message contents honest processors sent (0 when the
+        network has no crypto backend attached, so no payload digests)."""
+        return len(self._payload_digests)
+
+    @property
+    def broadcast_amplification(self) -> Optional[float]:
+        """Mean envelopes per distinct payload — how much of the message
+        count is the same content fanned out (``None`` without digests)."""
+        if not self._payload_digests:
+            return None
+        return len(self.messages) / len(self._payload_digests)
 
     # ------------------------------------------------------------------
     # Queries: decisions

@@ -31,7 +31,7 @@ def backoff_payload(view: int) -> tuple:
     return ("backoff-view-change", view)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewChangeMessage(PacemakerMessage):
     """Broadcast complaint that the current view failed; wish to enter ``view``."""
 

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from repro.consensus.replica import Replica
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacemakerMessage:
     """Base class for all view-synchronisation messages."""
 

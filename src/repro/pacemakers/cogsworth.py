@@ -43,7 +43,7 @@ def cogsworth_wish_payload(view: int) -> tuple:
     return ("cogsworth-wish", view)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WishMessage(PacemakerMessage):
     """A processor's signed wish to enter ``view``, sent to a relay candidate."""
 
@@ -51,7 +51,7 @@ class WishMessage(PacemakerMessage):
     partial: PartialSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RelayCertificate(PacemakerMessage):
     """``f+1`` aggregated wishes for ``view``, broadcast by a relay."""
 

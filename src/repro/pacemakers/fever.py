@@ -40,7 +40,7 @@ def fever_view_payload(view: int) -> tuple:
     return ("fever-view", view)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeverViewMessage(PacemakerMessage):
     """A processor's signed wish to run initial view ``view``, sent to its leader."""
 
@@ -48,7 +48,7 @@ class FeverViewMessage(PacemakerMessage):
     partial: PartialSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeverViewCertificate(PacemakerMessage):
     """Threshold signature of f+1 view messages, broadcast by the leader."""
 

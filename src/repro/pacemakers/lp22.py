@@ -41,7 +41,7 @@ def lp22_epoch_payload(view: int) -> tuple:
     return ("lp22-epoch-view", view)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LP22EpochViewMessage(PacemakerMessage):
     """Broadcast wish to start the epoch whose first view is ``view``."""
 
@@ -49,7 +49,7 @@ class LP22EpochViewMessage(PacemakerMessage):
     partial: PartialSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LP22EpochCertificate(PacemakerMessage):
     """Aggregated 2f+1 epoch-view messages, broadcast by whoever assembles it first."""
 

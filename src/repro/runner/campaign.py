@@ -174,6 +174,7 @@ def config_fingerprint(config: "ScenarioConfig") -> dict[str, Any]:
         "min_delay": config.min_delay,
         "scenario": config.scenario,
         "scenario_params": dict(sorted(config.scenario_params.items())),
+        "crypto_backend": config.crypto_backend,
         "corruption": None
         if corruption is None
         else {

@@ -15,19 +15,14 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
-
-@dataclass(order=True)
-class _QueuedEvent:
-    """Internal heap entry. Ordering is by (time, seq) only."""
-
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+# Heap entries are plain ``(time, seq, handle)`` tuples: tuple comparison runs
+# in C and never reaches the handle (seq is unique), where a dataclass with
+# ``order=True`` paid a Python-level ``__lt__`` on every sift — a measurable
+# share of large-n runs.
 
 
 class EventHandle:
@@ -95,7 +90,7 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[_QueuedEvent] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._events_processed = 0
         self._events_at_now = 0
         self._cancelled_pending = 0
@@ -160,7 +155,7 @@ class Simulator:
             )
         handle = EventHandle(time, callback, args, label=label, sim=self)
         self._seq += 1
-        heapq.heappush(self._queue, _QueuedEvent(time, self._seq, handle))
+        heapq.heappush(self._queue, (time, self._seq, handle))
         return handle
 
     # ------------------------------------------------------------------
@@ -185,7 +180,7 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled entries from the heap and restore the invariant."""
-        self._queue = [entry for entry in self._queue if not entry.handle.cancelled]
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_pending = 0
 
@@ -205,13 +200,12 @@ class Simulator:
             without virtual time advancing (a zero-delay event chain).
         """
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
+            time, _, handle = heapq.heappop(self._queue)
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue
-            if entry.time != self._now:
-                self._now = entry.time
+            if time != self._now:
+                self._now = time
                 self._events_at_now = 0
             self._events_at_now += 1
             if self._events_at_now > self.MAX_EVENTS_PER_TIMESTAMP:
@@ -263,11 +257,11 @@ class Simulator:
         """Return the time of the next non-cancelled event, if any."""
         while self._queue:
             entry = self._queue[0]
-            if entry.handle.cancelled:
+            if entry[2].cancelled:
                 heapq.heappop(self._queue)
                 self._cancelled_pending -= 1
                 continue
-            return entry.time
+            return entry[0]
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -15,10 +15,13 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.events import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only (keeps sim crypto-free)
+    from repro.crypto.backend import CryptoBackend
 
 
 @dataclass(frozen=True)
@@ -48,7 +51,11 @@ class NetworkConfig:
         so a model proposing ``0.0`` forever can no longer livelock
         ``Simulator.run(until=...)`` (see also
         :attr:`~repro.sim.events.Simulator.MAX_EVENTS_PER_TIMESTAMP`, the
-        complementary guard that trips when no floor is set).
+        complementary guard that trips when no floor is set).  Must satisfy
+        ``0 <= min_delay <= actual_delay``: a floor above ``actual_delay``
+        would contradict the claim that ``actual_delay`` bounds every
+        post-GST delay (and a floor above ``delta`` would break the partial
+        synchrony model outright).
     """
 
     delta: float = 1.0
@@ -74,9 +81,16 @@ class NetworkConfig:
             raise ConfigurationError(
                 f"min_delay must be in [0, delta={self.delta}], got {self.min_delay}"
             )
+        if self.min_delay > self.actual_delay:
+            raise ConfigurationError(
+                f"min_delay={self.min_delay} exceeds actual_delay={self.actual_delay}: "
+                "the floor would push every post-GST delay above the actual bound "
+                "delta, making the timing parameters contradictory — raise "
+                "actual_delay or lower min_delay"
+            )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A single point-to-point message in flight.
 
@@ -92,6 +106,11 @@ class Envelope:
         Virtual time the message was sent.
     deliver_time:
         Virtual time the message will be (or was) delivered.
+    payload_digest:
+        Content digest of the payload under the network's crypto backend, or
+        ``None`` when the network has no backend attached.  Broadcast and
+        multicast canonicalise the payload *once per send*, so all envelopes
+        of one send share this value (see :meth:`Network.broadcast`).
     """
 
     msg_id: int
@@ -100,6 +119,7 @@ class Envelope:
     payload: Any
     send_time: float
     deliver_time: float
+    payload_digest: Optional[str] = None
 
     @property
     def is_self_message(self) -> bool:
@@ -135,8 +155,19 @@ class DelayModel(ABC):
         """Human-readable description used in experiment reports."""
         return type(self).__name__
 
+    def constant_delay(self) -> Optional[float]:
+        """The delay this model proposes for *every* message, if one exists.
 
-@dataclass(frozen=True)
+        Models that delay every message identically (the synchronous case)
+        return it here; the network then skips building a
+        :class:`PendingSend` and calling :meth:`propose_delay` per message —
+        a measurable saving on large-``n`` broadcasts.  Default ``None``
+        (no constant; the per-message path is used).
+        """
+        return None
+
+
+@dataclass(frozen=True, slots=True)
 class PendingSend:
     """The information a :class:`DelayModel` may base its decision on.
 
@@ -175,6 +206,9 @@ class FixedDelay(DelayModel):
         self.delay = delay
 
     def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        return self.delay
+
+    def constant_delay(self) -> Optional[float]:
         return self.delay
 
     def describe(self) -> str:
@@ -338,6 +372,14 @@ class Network:
     delay_model:
         The network adversary; ``None`` means
         ``FixedDelay(config.actual_delay)``.
+    crypto_backend:
+        Optional :class:`~repro.crypto.backend.CryptoBackend`.  When set,
+        every :class:`Envelope` carries a ``payload_digest`` giving messages
+        a content identity — the metrics collector aggregates it into
+        ``distinct_payloads_sent`` / ``broadcast_amplification``.  The
+        digest is computed **once per send call** — :meth:`broadcast` and
+        :meth:`multicast` hoist it out of their per-recipient loops, so a
+        payload is canonicalised once however many recipients it goes to.
     """
 
     def __init__(
@@ -345,10 +387,12 @@ class Network:
         sim: Simulator,
         config: NetworkConfig,
         delay_model: Optional[DelayModel] = None,
+        crypto_backend: Optional["CryptoBackend"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.delay_model = delay_model or FixedDelay(config.actual_delay)
+        self.crypto_backend = crypto_backend
         self._processes: dict[int, Any] = {}
         self._sorted_ids: tuple[int, ...] = ()
         self._msg_ids = itertools.count()
@@ -356,6 +400,23 @@ class Network:
         self.deliver_listeners: list[Callable[[Envelope], None]] = []
         self.messages_sent = 0
         self.messages_delivered = 0
+
+    @property
+    def delay_model(self) -> DelayModel:
+        """The network adversary deciding each message's delay."""
+        return self._delay_model
+
+    @delay_model.setter
+    def delay_model(self, model: DelayModel) -> None:
+        # Fast path: a model with one constant delay for every message lets
+        # _delivery_time skip the per-message PendingSend + propose_delay
+        # call.  The floored value is cached here (and kept consistent if a
+        # test swaps the model mid-run).
+        self._delay_model = model
+        constant = model.constant_delay()
+        self._constant_floored_delay = (
+            None if constant is None else max(self.config.min_delay, constant)
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -412,7 +473,14 @@ class Network:
         """
         if recipient not in self._processes:
             raise SimulationError(f"unknown recipient {recipient}")
-        return self._send_one(sender, recipient, payload, self.sim.now, self.send_listeners)
+        return self._send_one(
+            sender,
+            recipient,
+            payload,
+            self.sim.now,
+            self.send_listeners,
+            self._payload_digest(payload),
+        )
 
     def broadcast(
         self, sender: int, payload: Any, include_self: bool = True
@@ -436,12 +504,73 @@ class Network:
         """
         now = self.sim.now
         listeners = self.send_listeners
+        # Hoisted out of the loop: the payload is shared by every envelope,
+        # so it is canonicalised/digested once per broadcast, not once per
+        # recipient (regression-tested with a call-counting backend).
+        payload_digest = self._payload_digest(payload)
+        if self._constant_floored_delay is not None:
+            return self._broadcast_batched(sender, payload, include_self, payload_digest)
         envelopes = []
         for pid in self._sorted_ids:
             if pid == sender and not include_self:
                 continue
-            envelopes.append(self._send_one(sender, pid, payload, now, listeners))
+            envelopes.append(
+                self._send_one(sender, pid, payload, now, listeners, payload_digest)
+            )
         return envelopes
+
+    def _broadcast_batched(
+        self, sender: int, payload: Any, include_self: bool, payload_digest: Optional[str]
+    ) -> list[Envelope]:
+        """Broadcast under a constant-delay model: one delivery event total.
+
+        Every non-self recipient shares the same delivery time, so instead of
+        one scheduled event per recipient (heap entry + handle + dispatch,
+        the dominant kernel cost of large-``n`` broadcasts) a single event
+        delivers the whole batch in ascending processor-id order — the same
+        order the individual events fired in, so runs are unchanged.  The
+        self-copy keeps its immediate delivery.  Note ``events_processed``
+        counts the batch as one event.
+        """
+        sim = self.sim
+        now = sim.now
+        listeners = self.send_listeners
+        deliver_time = min(
+            now + self._constant_floored_delay,
+            max(self.config.gst, now) + self.config.delta,
+        )
+        next_id = self._msg_ids
+        envelopes: list[Envelope] = []
+        batch: list[Envelope] = []
+        for pid in self._sorted_ids:
+            if pid == sender:
+                if not include_self:
+                    continue
+                envelopes.append(
+                    self._send_one(sender, pid, payload, now, listeners, payload_digest)
+                )
+                continue
+            envelope = Envelope(
+                msg_id=next(next_id),
+                sender=sender,
+                recipient=pid,
+                payload=payload,
+                send_time=now,
+                deliver_time=deliver_time,
+                payload_digest=payload_digest,
+            )
+            self.messages_sent += 1
+            for listener in listeners:
+                listener(envelope)
+            envelopes.append(envelope)
+            batch.append(envelope)
+        if batch:
+            sim.schedule_at(deliver_time, self._deliver_batch, batch, label="deliver-batch")
+        return envelopes
+
+    def _deliver_batch(self, envelopes: Sequence[Envelope]) -> None:
+        for envelope in envelopes:
+            self._deliver(envelope)
 
     def multicast(self, sender: int, recipients: Sequence[int], payload: Any) -> list[Envelope]:
         """Send ``payload`` from ``sender`` to each processor in ``recipients``.
@@ -459,12 +588,22 @@ class Network:
         now = self.sim.now
         listeners = self.send_listeners
         processes = self._processes
+        # Hoisted digest, as in broadcast(): one canonicalisation per send.
+        payload_digest = self._payload_digest(payload)
         envelopes = []
         for pid in recipients:
             if pid not in processes:
                 raise SimulationError(f"unknown recipient {pid}")
-            envelopes.append(self._send_one(sender, pid, payload, now, listeners))
+            envelopes.append(
+                self._send_one(sender, pid, payload, now, listeners, payload_digest)
+            )
         return envelopes
+
+    def _payload_digest(self, payload: Any) -> Optional[str]:
+        """Digest of ``payload`` under the attached backend (``None`` without one)."""
+        if self.crypto_backend is None:
+            return None
+        return self.crypto_backend.digest(payload)
 
     def _send_one(
         self,
@@ -473,8 +612,13 @@ class Network:
         payload: Any,
         now: float,
         listeners: Sequence[Callable[[Envelope], None]],
+        payload_digest: Optional[str] = None,
     ) -> Envelope:
-        """Construct, announce and schedule one envelope; shared send path."""
+        """Construct, announce and schedule one envelope; shared send path.
+
+        ``payload_digest`` is computed by the caller (once per send call,
+        even for an n-recipient broadcast) and attached verbatim.
+        """
         deliver_time = self._delivery_time(sender, recipient, payload, now)
         envelope = Envelope(
             msg_id=next(self._msg_ids),
@@ -483,6 +627,7 @@ class Network:
             payload=payload,
             send_time=now,
             deliver_time=deliver_time,
+            payload_digest=payload_digest,
         )
         self.messages_sent += 1
         for listener in listeners:
@@ -497,16 +642,18 @@ class Network:
         if sender == recipient:
             # Self-messages are received immediately (paper, Section 4).
             return now
-        after_gst = now >= self.config.gst
-        pending = PendingSend(
-            sender=sender,
-            recipient=recipient,
-            payload=payload,
-            send_time=now,
-            after_gst=after_gst,
-        )
-        raw_delay = max(self.config.min_delay, self.delay_model.propose_delay(pending, self.sim))
-        deadline = max(self.config.gst, now) + self.config.delta
+        config = self.config
+        raw_delay = self._constant_floored_delay
+        if raw_delay is None:
+            pending = PendingSend(
+                sender=sender,
+                recipient=recipient,
+                payload=payload,
+                send_time=now,
+                after_gst=now >= config.gst,
+            )
+            raw_delay = max(config.min_delay, self.delay_model.propose_delay(pending, self.sim))
+        deadline = max(config.gst, now) + config.delta
         return min(now + raw_delay, deadline)
 
     def _deliver(self, envelope: Envelope) -> None:

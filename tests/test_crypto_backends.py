@@ -1,0 +1,349 @@
+"""Tests for the pluggable crypto backends and their threading through the stack.
+
+Covers the backend registry and semantics, the once-per-send digest hoisting
+in ``Network.broadcast`` (regression-tested via the backends' call counters),
+threshold-signature misuse under **each** backend, and the end-to-end claim
+that backends only change digest representation, never protocol outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.crypto.backend import (
+    CountingBackend,
+    HashingBackend,
+    MemoisingBackend,
+    available_backends,
+    blake_digest,
+    get_default_backend,
+    make_backend,
+    use_backend,
+)
+from repro.crypto.signatures import PKI, SigningKey
+from repro.crypto.threshold import PartialSignature, ThresholdScheme
+from repro.errors import ConfigurationError, ThresholdError
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.runner.campaign import spec_key
+from repro.sim.events import Simulator
+from repro.sim.network import FixedDelay, Network, NetworkConfig
+
+ALL_BACKENDS = ("hashing", "counting", "interned")
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    """One fresh instance of every registered backend."""
+    return make_backend(request.param)
+
+
+# ----------------------------------------------------------------------
+# Registry and default-backend management
+# ----------------------------------------------------------------------
+def test_registry_names_and_unknown_backend():
+    assert set(ALL_BACKENDS) <= set(available_backends())
+    with pytest.raises(ConfigurationError, match="unknown crypto backend"):
+        make_backend("sha3-but-wrong")
+
+
+def test_make_backend_returns_fresh_instances():
+    assert make_backend("counting") is not make_backend("counting")
+
+
+def test_use_backend_installs_and_restores():
+    before = get_default_backend()
+    counting = CountingBackend()
+    with use_backend(counting):
+        assert get_default_backend() is counting
+    assert get_default_backend() is before
+
+
+def test_protocol_config_rejects_unknown_backend():
+    with pytest.raises(ConfigurationError, match="unknown crypto backend"):
+        ProtocolConfig(n=4, crypto_backend="nope")
+
+
+# ----------------------------------------------------------------------
+# Digest semantics shared by every backend
+# ----------------------------------------------------------------------
+def test_equal_payloads_get_equal_digests(backend):
+    assert backend.digest("a", 1, (2, 3)) == backend.digest("a", 1, (2, 3))
+
+
+def test_distinct_payloads_get_distinct_digests(backend):
+    seen = {
+        backend.digest("a", 1),
+        backend.digest("a", 2),
+        backend.digest(("a", "b")),
+        backend.digest(("ab",)),
+    }
+    assert len(seen) == 4
+
+
+def test_sets_and_dicts_are_order_insensitive(backend):
+    assert backend.digest({3, 1, 2}) == backend.digest({2, 3, 1})
+    assert backend.digest({"k": 1, "j": 2}) == backend.digest({"j": 2, "k": 1})
+
+
+def test_unhashable_parts_are_supported(backend):
+    """Sorted signer lists (the threshold proof payload shape) digest fine."""
+    first = backend.digest("threshold", "d", 3, [0, 1, 2])
+    again = backend.digest("threshold", "d", 3, [0, 1, 2])
+    other = backend.digest("threshold", "d", 3, [0, 1, 3])
+    assert first == again
+    assert first != other
+
+
+def test_lists_and_tuples_are_interchangeable(backend):
+    """canonical_bytes treats lists and tuples identically; so must every backend."""
+    assert backend.digest([1, 2]) == backend.digest((1, 2))
+
+
+def test_unhashable_dataclass_payloads_are_supported(backend):
+    """A dataclass with a list-valued field must digest under every backend."""
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class ListyMessage:
+        view: int
+        ids: list
+
+    first = backend.digest(ListyMessage(view=1, ids=[3, 4]))
+    again = backend.digest(ListyMessage(view=1, ids=[3, 4]))
+    other = backend.digest(ListyMessage(view=1, ids=[3, 5]))
+    assert first == again
+    assert first != other
+
+
+# ----------------------------------------------------------------------
+# Backend-specific behaviour
+# ----------------------------------------------------------------------
+def test_hashing_backend_matches_pure_function():
+    backend = HashingBackend()
+    assert backend.digest("x", 1) == blake_digest("x", 1)
+
+
+def test_counting_backend_mints_compact_tokens():
+    backend = CountingBackend()
+    token = backend.digest("block", 3, "parent", 0, ())
+    assert token.startswith("~")
+    assert backend.distinct_payloads == 1
+    assert backend.digest("block", 3, "parent", 0, ()) == token
+    assert backend.distinct_payloads == 1  # served from the intern table
+
+
+def test_counting_tokens_never_collide_across_instances():
+    """Tokens leaked across runs must fail comparisons, never silently match."""
+    first = CountingBackend()
+    second = CountingBackend()
+    assert first.digest("payload-a") != second.digest("payload-b")
+    # Equal payloads still agree within one instance, not across instances.
+    assert first.digest("payload-a") == first.digest("payload-a")
+
+
+def test_counting_backend_counts_calls_and_computes():
+    backend = CountingBackend()
+    backend.digest("a")
+    backend.digest("a")
+    backend.digest("b")
+    assert backend.digest_calls == 3
+    assert backend.digest_computes == 2
+
+
+def test_memoising_backend_computes_each_payload_once():
+    backend = MemoisingBackend(HashingBackend())
+    value = backend.digest("qc", 7, "block")
+    assert value == blake_digest("qc", 7, "block")  # bit-identical to hashing
+    for _ in range(5):
+        assert backend.digest("qc", 7, "block") == value
+    assert backend.digest_computes == 1
+    assert backend.hits == 5
+    assert backend.inner.digest_calls == 1
+
+
+def test_memoising_backend_memoises_unhashable_payloads():
+    backend = MemoisingBackend(HashingBackend())
+    backend.digest("threshold", "d", 3, [0, 1, 2])
+    backend.digest("threshold", "d", 3, [0, 1, 2])
+    assert backend.digest_computes == 1
+    assert backend.hits == 1
+
+
+def test_reset_counters(backend):
+    backend.digest("something")
+    backend.reset_counters()
+    assert backend.digest_calls == 0
+    assert backend.digest_computes == 0
+
+
+# ----------------------------------------------------------------------
+# Broadcast hoists the payload digest out of the per-recipient loop
+# ----------------------------------------------------------------------
+class _Sink:
+    def __init__(self, pid):
+        self.pid = pid
+        self.received = []
+
+    def deliver(self, payload, sender):
+        self.received.append((payload, sender))
+
+
+def _network_with_backend(n, backend):
+    sim = Simulator(seed=0)
+    net = Network(
+        sim,
+        NetworkConfig(delta=1.0, actual_delay=0.1),
+        FixedDelay(0.1),
+        crypto_backend=backend,
+    )
+    for pid in range(n):
+        net.register(_Sink(pid))
+    return sim, net
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_broadcast_digests_payload_once_not_once_per_recipient(backend_name):
+    backend = make_backend(backend_name)
+    sim, net = _network_with_backend(7, backend)
+    backend.reset_counters()
+    envelopes = net.broadcast(0, "the-proposal")
+    assert len(envelopes) == 7
+    assert backend.digest_calls == 1  # hoisted: one call for seven recipients
+    digests = {envelope.payload_digest for envelope in envelopes}
+    assert len(digests) == 1 and None not in digests
+
+
+def test_multicast_digests_payload_once():
+    backend = CountingBackend()
+    sim, net = _network_with_backend(5, backend)
+    backend.reset_counters()
+    net.multicast(0, [1, 2, 3], "batch")
+    assert backend.digest_calls == 1
+
+
+def test_send_attaches_payload_digest():
+    backend = CountingBackend()
+    sim, net = _network_with_backend(2, backend)
+    envelope = net.send(0, 1, "hello")
+    assert envelope.payload_digest == backend.digest("hello")
+
+
+def test_network_without_backend_attaches_no_digest():
+    sim = Simulator(seed=0)
+    net = Network(sim, NetworkConfig(), FixedDelay(0.1))
+    net.register(_Sink(0))
+    net.register(_Sink(1))
+    envelope = net.send(0, 1, "hello")
+    assert envelope.payload_digest is None
+
+
+# ----------------------------------------------------------------------
+# Threshold-signature misuse under each backend (satellite)
+# ----------------------------------------------------------------------
+def _scheme_with_keys(backend, n=4):
+    pki, keys = PKI.setup(range(n), backend=backend)
+    return ThresholdScheme(pki), keys
+
+
+def test_duplicate_signers_rejected(backend):
+    scheme, keys = _scheme_with_keys(backend)
+    message = ("qc", 1, "h")
+    partials = [scheme.partial_sign(keys[0], message)] * 5
+    with pytest.raises(ThresholdError, match="distinct valid shares"):
+        scheme.combine(partials, threshold=2, message=message)
+
+
+def test_below_threshold_aggregation_raises(backend):
+    scheme, keys = _scheme_with_keys(backend)
+    message = ("qc", 5, "h")
+    partials = [scheme.partial_sign(keys[i], message) for i in range(2)]
+    with pytest.raises(ThresholdError):
+        scheme.combine(partials, threshold=3, message=message)
+
+
+def test_forged_partial_from_non_owner_key_fails_verification(backend):
+    """An attacker signing with its *own* key cannot impersonate a victim."""
+    scheme, keys = _scheme_with_keys(backend)
+    message = ("qc", 9, "victim-block")
+    attacker_key = SigningKey(owner=3, backend=backend)  # a fresh secret, not the PKI's
+    honest = scheme.partial_sign(keys[3], message)
+    forged = PartialSignature(
+        signer=3,
+        message_digest=honest.message_digest,
+        signature=attacker_key.sign(message),
+    )
+    assert scheme.verify_partial(honest, message)
+    assert not scheme.verify_partial(forged, message)
+    good = [scheme.partial_sign(keys[i], message) for i in range(2)]
+    with pytest.raises(ThresholdError):
+        scheme.combine(good + [forged], threshold=3, message=message)
+
+
+def test_roundtrip_and_verify_under_each_backend(backend):
+    scheme, keys = _scheme_with_keys(backend)
+    message = ("qc", 5, "blockhash")
+    partials = [scheme.partial_sign(keys[i], message) for i in range(3)]
+    aggregate = scheme.combine(partials, threshold=3, message=message)
+    assert scheme.verify(aggregate, message)
+    assert not scheme.verify(aggregate, ("qc", 6, "blockhash"))
+
+
+# ----------------------------------------------------------------------
+# End to end: backends change digest representation, not protocol outcomes
+# ----------------------------------------------------------------------
+def _run(backend_name):
+    return run_scenario(
+        ScenarioConfig(
+            n=4,
+            pacemaker="lumiere",
+            delta=1.0,
+            actual_delay=0.1,
+            gst=0.0,
+            duration=40.0,
+            seed=0,
+            record_trace=False,
+            crypto_backend=backend_name,
+        )
+    )
+
+
+def test_lumiere_config_rejects_degenerate_success_overrides():
+    from repro.core.config import LumiereConfig
+
+    protocol = ProtocolConfig(n=4)
+    with pytest.raises(ConfigurationError, match="success_qcs_override"):
+        LumiereConfig(protocol=protocol, success_qcs_override=0)
+    with pytest.raises(ConfigurationError, match="success_leaders_override"):
+        LumiereConfig(protocol=protocol, success_leaders_override=0)
+
+
+def test_scenario_metrics_expose_payload_identity():
+    """Envelope payload digests roll up into distinct-payload accounting."""
+    result = _run("counting")
+    metrics = result.metrics
+    assert metrics.distinct_payloads_sent > 0
+    assert metrics.distinct_payloads_sent < metrics.total_honest_messages
+    # Broadcast fan-out means each distinct payload averages > 1 envelope.
+    assert metrics.broadcast_amplification > 1.0
+
+
+def test_backends_produce_identical_decisions_and_stay_safe():
+    results = {name: _run(name) for name in ALL_BACKENDS}
+    decision_counts = {name: r.honest_decisions() for name, r in results.items()}
+    assert len(set(decision_counts.values())) == 1, decision_counts
+    for result in results.values():
+        assert result.ledgers_are_consistent()
+        assert result.committed_blocks() > 0
+    # Counting genuinely avoids recomputation; hashing computes every call.
+    counting = results["counting"].crypto_backend
+    hashing = results["hashing"].crypto_backend
+    assert counting.digest_computes < counting.digest_calls
+    assert hashing.digest_computes == hashing.digest_calls
+
+
+def test_spec_key_distinguishes_backends():
+    base = ScenarioConfig(n=4, seed=0, duration=40.0)
+    counting = ScenarioConfig(n=4, seed=0, duration=40.0, crypto_backend="counting")
+    assert spec_key(base) != spec_key(counting)
+    assert spec_key(base) == spec_key(ScenarioConfig(n=4, seed=0, duration=40.0))

@@ -183,7 +183,18 @@ def test_config_rejects_negative_min_delay():
 
 def test_config_rejects_min_delay_above_delta():
     with pytest.raises(ConfigurationError):
-        NetworkConfig(delta=1.0, min_delay=2.0)
+        NetworkConfig(delta=1.0, actual_delay=1.0, min_delay=2.0)
+
+
+def test_config_rejects_min_delay_above_actual_delay():
+    """A floor above the actual post-GST bound is a contradiction, not a tweak."""
+    with pytest.raises(ConfigurationError, match="actual_delay"):
+        NetworkConfig(delta=1.0, actual_delay=0.1, min_delay=0.5)
+
+
+def test_config_accepts_min_delay_equal_to_actual_delay():
+    config = NetworkConfig(delta=1.0, actual_delay=0.1, min_delay=0.1)
+    assert config.min_delay == pytest.approx(0.1)
 
 
 def test_min_delay_floors_a_zero_delay_model():
@@ -203,7 +214,7 @@ def test_min_delay_floors_a_zero_delay_model():
 
 def test_min_delay_does_not_slow_self_messages():
     sim = Simulator(seed=1)
-    net = Network(sim, NetworkConfig(min_delay=0.5), FixedDelay(0.0))
+    net = Network(sim, NetworkConfig(actual_delay=0.5, min_delay=0.5), FixedDelay(0.0))
     sink = Sink(0, sim)
     net.register(sink)
     net.send(0, 0, "to-self")

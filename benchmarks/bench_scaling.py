@@ -23,12 +23,21 @@ Correctness gates (the script exits non-zero if any fails):
 * ``crypto_speedup`` at the largest n is at least ``--min-crypto-speedup``
   (3.0 by default, 1.0 in ``--quick`` mode);
 * in quick mode, counting is not slower end-to-end (with a 20% allowance
-  for shared-runner scheduling noise; the true margin is ~1.5x).
+  for shared-runner scheduling noise; the true margin is ~1.5x);
+* with ``--check-baseline FILE``, every cell's ``decisions`` and
+  ``committed_blocks`` must match the committed baseline exactly.  Decision
+  counts are deterministic per seed — machine-independent — so this is the
+  correctness guard CI uses to detect accidental trace changes (timing
+  gates cannot run on shared runners; this one can).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scaling.py            # full matrix
     PYTHONPATH=src python benchmarks/bench_scaling.py --quick    # CI: n=16 only
+    PYTHONPATH=src python benchmarks/bench_scaling.py --quick \\
+        --check-baseline benchmarks/BASELINE_smoke.json          # CI guard
+    PYTHONPATH=src python benchmarks/bench_scaling.py --quick \\
+        --write-baseline benchmarks/BASELINE_smoke.json          # refresh it
 """
 
 from __future__ import annotations
@@ -97,7 +106,10 @@ def run_crypto_pipeline(backend_name: str, n: int, rounds: int) -> dict[str, Any
     """One certificate pipeline: sign, verify, combine, verify-at-every-recipient."""
     backend = make_backend(backend_name)
     pki, keys = PKI.setup(range(n), backend=backend)
-    scheme = ThresholdScheme(pki)
+    # The verified-aggregate cache is disabled so the microbenchmark keeps
+    # measuring the *raw* per-verification seam cost (the end-to-end scenario
+    # rows measure the cached behaviour the simulation actually runs with).
+    scheme = ThresholdScheme(pki, cache_verified=False)
     quorum = 2 * ((n - 1) // 3) + 1
     start = time.perf_counter()
     for round_index in range(rounds):
@@ -151,6 +163,59 @@ def aggregate(scenario_rows, crypto_rows, ns) -> dict[str, Any]:
             else None,
         }
     return per_n
+
+
+def baseline_cells(scenario_rows) -> list[dict[str, Any]]:
+    """The machine-independent residue of the scenario matrix: per-cell
+    decision and commit counts (plus the safety bit), no timings."""
+    return [
+        {
+            "n": row["n"],
+            "protocol": row["protocol"],
+            "f_actual": row["f_actual"],
+            "backend": row["backend"],
+            "decisions": row["decisions"],
+            "committed_blocks": row["committed_blocks"],
+            "ledgers_consistent": row["ledgers_consistent"],
+        }
+        for row in scenario_rows
+    ]
+
+
+def check_baseline(scenario_rows, baseline_path: Path, run_mode: str) -> list[str]:
+    """Compare the run's decision/commit counts against a committed baseline.
+
+    Returns failure strings (empty when every baseline cell was reproduced
+    exactly).  Cells in the run but not the baseline are ignored — widening
+    the matrix must not require a baseline refresh — but every baseline
+    cell must be present and identical.  A baseline recorded in a different
+    mode fails fast with the real reason: quick and full cells run with
+    different durations, so their counts legitimately differ.
+    """
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    baseline_mode = baseline.get("mode")
+    if baseline_mode is not None and baseline_mode != run_mode:
+        return [
+            f"baseline {baseline_path} was recorded in {baseline_mode!r} mode but "
+            f"this is a {run_mode!r} run; the cells use different durations, so "
+            "counts legitimately differ — compare like with like"
+        ]
+    observed = {
+        (cell["n"], cell["protocol"], cell["f_actual"], cell["backend"]): cell
+        for cell in baseline_cells(scenario_rows)
+    }
+    failures: list[str] = []
+    for expected in baseline["cells"]:
+        key = (expected["n"], expected["protocol"], expected["f_actual"], expected["backend"])
+        cell = observed.get(key)
+        if cell is None:
+            failures.append(f"baseline cell {key} missing from this run's matrix")
+        elif cell != expected:
+            failures.append(
+                f"baseline mismatch at {key}: expected {expected}, got {cell} "
+                "(a deliberate trace change needs --write-baseline)"
+            )
+    return failures
 
 
 def check(scenario_rows, per_n, ns, min_crypto_speedup, quick) -> dict[str, Any]:
@@ -216,6 +281,12 @@ def main(argv=None) -> int:
                              "(default 3.0, or 1.0 with --quick)")
     parser.add_argument("--rounds", type=int, default=60,
                         help="certificate rounds per crypto-pipeline cell")
+    parser.add_argument("--check-baseline", type=Path, default=None,
+                        help="fail unless per-cell decision/commit counts match "
+                             "this committed baseline JSON exactly")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        help="write the run's per-cell decision/commit counts "
+                             "as a new baseline JSON")
     args = parser.parse_args(argv)
 
     ns = tuple(int(x) for x in args.ns.split(",")) if args.ns else (
@@ -236,6 +307,26 @@ def main(argv=None) -> int:
     ]
     per_n = aggregate(scenario_rows, crypto_rows, ns)
     checks = check(scenario_rows, per_n, ns, min_crypto_speedup, args.quick)
+
+    if args.write_baseline is not None:
+        baseline_doc = {
+            "schema": "repro-bench-baseline/1",
+            "generated_by": "benchmarks/bench_scaling.py",
+            "mode": "quick" if args.quick else "full",
+            "cells": baseline_cells(scenario_rows),
+        }
+        args.write_baseline.write_text(
+            json.dumps(baseline_doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote baseline {args.write_baseline}")
+    if args.check_baseline is not None:
+        baseline_failures = check_baseline(
+            scenario_rows, args.check_baseline, "quick" if args.quick else "full"
+        )
+        checks["baseline_matched"] = not baseline_failures
+        if baseline_failures:
+            checks["failures"].extend(baseline_failures)
+            checks["passed"] = False
 
     document = {
         "schema": "repro-bench-scaling/1",

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Kernel hotspot report: cProfile over a steady-state lumiere scenario.
+
+Profiles one full ``run_scenario`` call (n=64 by default, the size where the
+backend-independent kernel share dominates under the hashing backend) and
+writes a machine-readable JSON artifact with the top-N functions by
+cumulative time, plus the same table by internal (self) time.  The CI
+perf-smoke job runs ``--quick`` mode (n=16, shorter run) and uploads the
+JSON, so every push leaves a downloadable record of where the kernel's time
+went.
+
+The report is a *observability* artifact, not a gate: wall times vary across
+machines, so nothing here fails the build.  The companion correctness guard
+lives in ``bench_scaling.py --check-baseline`` (decision counts are
+machine-independent).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_kernel.py           # n=64 report
+    PYTHONPATH=src python benchmarks/profile_kernel.py --quick   # CI: n=16
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.scenario import build_spread_fault_config, run_scenario
+from repro.version import __version__
+
+
+def profile_scenario(n: int, duration: float, backend: str, seed: int):
+    """Run one scenario under cProfile; returns (stats, scenario result)."""
+    params = {
+        "n": n,
+        "protocol": "lumiere",
+        "delta": 1.0,
+        "actual_delay": 0.1,
+        "duration": duration,
+        "seed": seed,
+        "f_actual": 0,
+        "crypto_backend": backend,
+    }
+    config = build_spread_fault_config(params)
+    profiler = cProfile.Profile()
+    result_box: list[Any] = []
+    profiler.enable()
+    result_box.append(run_scenario(config))
+    profiler.disable()
+    return pstats.Stats(profiler), result_box[0]
+
+
+def hotspot_rows(stats: pstats.Stats, sort: str, top: int) -> list[dict[str, Any]]:
+    """The top-``top`` functions under one sort key, as JSON-friendly rows."""
+    stats.sort_stats(sort)
+    rows: list[dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        # Strip machine-specific prefixes so artifacts diff cleanly across
+        # checkouts; stdlib/builtin frames keep their short form.
+        short = filename
+        marker = "/repro/"
+        if marker in filename:
+            short = "src/repro/" + filename.split(marker, 1)[1]
+        rows.append(
+            {
+                "function": name,
+                "location": f"{short}:{lineno}",
+                "calls": nc,
+                "primitive_calls": cc,
+                "internal_time": round(tt, 4),
+                "cumulative_time": round(ct, 4),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: n=16 and a shorter run")
+    parser.add_argument("--n", type=int, default=None,
+                        help="system size (default 64, or 16 with --quick)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="virtual-time duration (default 25, or 15 with --quick)")
+    parser.add_argument("--backend", default="hashing",
+                        help="crypto backend to profile under (default: hashing, "
+                             "the backend whose runs the kernel share dominates)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=25,
+                        help="functions per hotspot table (default 25)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_kernel_profile.json")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (16 if args.quick else 64)
+    duration = args.duration if args.duration is not None else (15.0 if args.quick else 25.0)
+
+    stats, result = profile_scenario(n, duration, args.backend, args.seed)
+    total_time = stats.total_tt  # type: ignore[attr-defined]
+
+    by_cumulative = hotspot_rows(stats, "cumulative", args.top)
+    by_internal = hotspot_rows(stats, "time", args.top)
+
+    document = {
+        "schema": "repro-kernel-profile/1",
+        "generated_by": "benchmarks/profile_kernel.py",
+        "version": __version__,
+        "mode": "quick" if args.quick else "full",
+        "parameters": {
+            "n": n,
+            "protocol": "lumiere",
+            "f_actual": 0,
+            "duration": duration,
+            "seed": args.seed,
+            "crypto_backend": args.backend,
+            "top": args.top,
+        },
+        "run": {
+            "profiled_wall_time": round(total_time, 4),
+            "events_processed": result.simulator.events_processed,
+            "decisions": result.honest_decisions(),
+            "committed_blocks": result.committed_blocks(),
+            "ledgers_consistent": result.ledgers_are_consistent(),
+            "messages_sent": result.network.messages_sent,
+            "messages_delivered": result.network.messages_delivered,
+            "total_honest_messages": result.metrics.total_honest_messages,
+        },
+        "hotspots": {
+            "by_cumulative_time": by_cumulative,
+            "by_internal_time": by_internal,
+        },
+    }
+    args.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    stream = io.StringIO()
+    stats.stream = stream  # type: ignore[attr-defined]
+    stats.sort_stats("cumulative").print_stats(15)
+    print(stream.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,12 +57,64 @@ DIGEST_SIZE_BYTES = 16
 _DICT_MARK = "\x00dict"
 
 
+def _canonical_set(payload: Any) -> bytes:
+    return b"{" + b",".join(sorted(canonical_bytes(item) for item in payload)) + b"}"
+
+
+def _canonical_sequence(payload: Any) -> bytes:
+    return b"(" + b",".join([canonical_bytes(item) for item in payload]) + b")"
+
+
+def _canonical_dict(payload: dict) -> bytes:
+    inner = b",".join(
+        canonical_bytes(key) + b":" + canonical_bytes(value)
+        for key, value in sorted(payload.items())
+    )
+    return b"[" + inner + b"]"
+
+
+def _canonical_repr(payload: Any) -> bytes:
+    return repr(payload).encode("utf-8")
+
+
+# Exact-type dispatch for the overwhelmingly common payload shapes: one dict
+# lookup replaces the isinstance ladder the canonicaliser historically walked
+# on every one of its millions of recursive calls per large-n run.  Subclasses
+# of these types (and dataclasses) miss the table and take the generic path,
+# which preserves the ladder's semantics — the rendered bytes are identical.
+_CANONICAL_DISPATCH: dict[type, Callable[[Any], bytes]] = {
+    bytes: lambda payload: payload,
+    str: lambda payload: payload.encode("utf-8"),
+    int: _canonical_repr,
+    bool: _canonical_repr,
+    float: _canonical_repr,
+    type(None): lambda payload: b"None",
+    frozenset: _canonical_set,
+    set: _canonical_set,
+    tuple: _canonical_sequence,
+    list: _canonical_sequence,
+    dict: _canonical_dict,
+}
+
+# Dataclass field names per type, resolved once instead of re-reading
+# __dataclass_fields__ (a dict) on every canonicalisation of a wire message.
+_FIELD_NAMES_CACHE: dict[type, tuple[str, ...]] = {}
+
+
 def canonical_bytes(payload: Any) -> bytes:
     """Render a payload into canonical bytes for hashing.
 
     Tuples, lists, dicts, dataclass-like reprs and primitives all reduce to a
     stable textual form.  Sets are sorted to remove ordering nondeterminism.
     """
+    handler = _CANONICAL_DISPATCH.get(type(payload))
+    if handler is not None:
+        return handler(payload)
+    return _canonical_other(payload)
+
+
+def _canonical_other(payload: Any) -> bytes:
+    """The generic path: builtin subclasses, dataclasses, everything else."""
     if isinstance(payload, bytes):
         return payload
     if isinstance(payload, str):
@@ -70,27 +122,26 @@ def canonical_bytes(payload: Any) -> bytes:
     if isinstance(payload, (int, float, bool)) or payload is None:
         return repr(payload).encode("utf-8")
     if isinstance(payload, (frozenset, set)):
-        inner = b",".join(sorted(canonical_bytes(item) for item in payload))
-        return b"{" + inner + b"}"
+        return _canonical_set(payload)
     if isinstance(payload, (tuple, list)):
-        inner = b",".join(canonical_bytes(item) for item in payload)
-        return b"(" + inner + b")"
+        return _canonical_sequence(payload)
     if isinstance(payload, dict):
-        inner = b",".join(
-            canonical_bytes(key) + b":" + canonical_bytes(value)
-            for key, value in sorted(payload.items())
-        )
-        return b"[" + inner + b"]"
-    fields = getattr(payload, "__dataclass_fields__", None)
-    if fields is not None:
-        # Dataclasses (wire messages, certificates, blocks) canonicalise by
-        # recursing into their full field contents.  The historical repr
-        # fallback was lossy here: custom __repr__s truncate digests to 8
-        # characters and summarise signer sets, so two *different* payloads
-        # could canonicalise identically.
-        inner = b",".join(canonical_bytes(getattr(payload, name)) for name in fields)
-        return b"<" + type(payload).__name__.encode("utf-8") + b":" + inner + b">"
-    return repr(payload).encode("utf-8")
+        return _canonical_dict(payload)
+    payload_type = type(payload)
+    names = _FIELD_NAMES_CACHE.get(payload_type)
+    if names is None:
+        fields = getattr(payload, "__dataclass_fields__", None)
+        if fields is None:
+            return repr(payload).encode("utf-8")
+        names = tuple(fields)
+        _FIELD_NAMES_CACHE[payload_type] = names
+    # Dataclasses (wire messages, certificates, blocks) canonicalise by
+    # recursing into their full field contents.  The historical repr
+    # fallback was lossy here: custom __repr__s truncate digests to 8
+    # characters and summarise signer sets, so two *different* payloads
+    # could canonicalise identically.
+    inner = b",".join([canonical_bytes(getattr(payload, name)) for name in names])
+    return b"<" + payload_type.__name__.encode("utf-8") + b":" + inner + b">"
 
 
 def blake_digest(*parts: Any) -> str:

@@ -72,11 +72,34 @@ class ThresholdScheme:
     backend:
         Digest backend; defaults to the PKI's own, which keeps the whole
         ceremony (keys, shares, aggregates) on one digest semantics.
+    cache_verified:
+        Whether :meth:`verify` remembers aggregates that already verified
+        (default on).  The scheme instance is shared by every replica of a
+        run, and each replica independently verifies the same certificate
+        as it arrives, so without the cache the O(n) signer-set digest is
+        recomputed n times per certificate — the dominant crypto cost of
+        large-``n`` runs under the hashing backend.  A hit only requires
+        digesting the (small) message; the cache key binds everything the
+        proof recomputation would check (message digest, threshold, signer
+        set, proof string), so a hit and a recomputation always agree.
+        Disable it to measure the raw per-verification seam cost
+        (``benchmarks/bench_scaling.py`` does for its pipeline
+        microbenchmark).
     """
 
-    def __init__(self, pki: PKI, backend: Optional[CryptoBackend] = None) -> None:
+    def __init__(
+        self,
+        pki: PKI,
+        backend: Optional[CryptoBackend] = None,
+        cache_verified: bool = True,
+    ) -> None:
         self.pki = pki
         self.backend = backend if backend is not None else pki.backend
+        self._verified: Optional[set[tuple[str, str, int, frozenset[int]]]] = (
+            set() if cache_verified else None
+        )
+        #: Number of :meth:`verify` calls served from the verified cache.
+        self.verify_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Shares
@@ -151,10 +174,27 @@ class ThresholdScheme:
         )
 
     def verify(self, aggregate: ThresholdSignature, message: Any) -> bool:
-        """Verify an aggregated signature against ``message``."""
+        """Verify an aggregated signature against ``message``.
+
+        With the verified cache enabled (the default), re-verifying a
+        certificate that already passed — every replica checks every QC as
+        it arrives — costs one digest of the small ``message`` plus a set
+        lookup, instead of re-digesting the O(n) signer set.
+        """
         message_digest = self.backend.digest(message)
         if aggregate.message_digest != message_digest:
             return False
+        verified = self._verified
+        if verified is not None:
+            key = (
+                aggregate.proof,
+                message_digest,
+                aggregate.threshold,
+                aggregate.signers,
+            )
+            if key in verified:
+                self.verify_cache_hits += 1
+                return True
         if aggregate.size < aggregate.threshold:
             return False
         if not self.pki.covers(aggregate.signers):
@@ -162,7 +202,11 @@ class ThresholdScheme:
         expected = self.backend.digest(
             "threshold", message_digest, aggregate.threshold, aggregate.signers
         )
-        return aggregate.proof == expected
+        if aggregate.proof != expected:
+            return False
+        if verified is not None:
+            verified.add(key)
+        return True
 
     def require_valid(self, aggregate: ThresholdSignature, message: Any) -> None:
         """Raise :class:`ThresholdError` unless ``aggregate`` verifies over ``message``."""

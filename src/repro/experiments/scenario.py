@@ -114,6 +114,9 @@ class ScenarioResult:
     #: The run's crypto backend instance (its counters expose how much digest
     #: work the run performed); ``None`` only for hand-built results.
     crypto_backend: Optional[CryptoBackend] = None
+    #: The run's network (exposes delivery counters and the
+    #: ``batch_deliveries`` toggle); ``None`` only for hand-built results.
+    network: Optional[Network] = None
 
     # ------------------------------------------------------------------
     # Summaries
@@ -284,6 +287,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
         corruption=corruption,
         simulator=simulator,
         crypto_backend=crypto_backend,
+        network=network,
     )
 
 

@@ -17,12 +17,22 @@ The paper's complexity measures (Section 2):
 
 In a finite run we approximate the limsup by the maximum over all decision
 gaps after a configurable warm-up.
+
+Storage is **columnar**: the paper's measures only need message *counts and
+times*, so :meth:`MetricsCollector.on_send` appends to parallel primitive
+columns (``array('d')`` times, integer id columns, interned kind tokens)
+instead of allocating a record object per envelope — the dominant
+observation-layer cost of large-``n`` runs.  The record dataclasses
+(:class:`MessageRecord`, :class:`DecisionRecord`, :class:`CommitRecord`)
+still exist and are materialised lazily by the query methods, so the public
+API is unchanged.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.sim.network import Envelope
@@ -59,14 +69,40 @@ class CommitRecord:
 
 
 class MetricsCollector:
-    """Collects message, decision, view-entry, commit and epoch-sync records."""
+    """Collects message, decision, view-entry, commit and epoch-sync records.
+
+    Messages, decisions and commits are stored as parallel primitive columns
+    and materialised into their record dataclasses only when queried (the
+    :attr:`messages`, :attr:`decisions` and :attr:`commits` properties build
+    fresh lists on each access — iterate, don't mutate).  Interval queries
+    (``messages_between``, ``message_kinds_between``, the ``*_after``
+    family) bisect sorted time columns instead of scanning every record.
+    """
 
     def __init__(self) -> None:
         self.honest_ids: set[int] = set()
-        self.messages: list[MessageRecord] = []
-        self._message_times: list[float] = []
-        self.decisions: list[DecisionRecord] = []
-        self.commits: list[CommitRecord] = []
+        # Message columns, appended in send order (send times are the
+        # simulator clock, so the time column is sorted and bisectable).
+        self._message_times = array("d")
+        self._message_senders = array("q")
+        self._message_recipients = array("q")
+        self._message_kind_ids = array("q")
+        # Payload-type interning: kind id <-> name (a handful of entries).
+        self._kind_names: list[str] = []
+        self._kind_ids: dict[str, int] = {}
+        # Decision columns, plus the honest-decision index: sorted times of
+        # honest-leader decisions and their positions in the full columns.
+        self._decision_times = array("d")
+        self._decision_views = array("q")
+        self._decision_leaders = array("q")
+        self._decision_honest = array("b")
+        self._honest_decision_times = array("d")
+        self._honest_decision_indices = array("q")
+        # Commit columns.
+        self._commit_times = array("d")
+        self._commit_pids = array("q")
+        self._commit_views = array("q")
+        self._commit_block_ids: list[str] = []
         self.view_entries: dict[int, list[tuple[float, int]]] = {}
         self.epoch_syncs: list[tuple[float, int, int]] = []  # (time, pid, epoch)
         self.qc_count = 0
@@ -89,29 +125,48 @@ class MetricsCollector:
     # Recording
     # ------------------------------------------------------------------
     def on_send(self, envelope: Envelope) -> None:
-        """Record a sent message if the sender is honest and it is not a self-message."""
-        if envelope.sender not in self.honest_ids:
+        """Record a sent message if the sender is honest and it is not a self-message.
+
+        The hot path of the observation layer: a few primitive column
+        appends, no record-object allocation.
+        """
+        sender = envelope.sender
+        if sender not in self.honest_ids or sender == envelope.recipient:
             return
-        if envelope.is_self_message:
-            return
-        record = MessageRecord(
-            time=envelope.send_time,
-            sender=envelope.sender,
-            recipient=envelope.recipient,
-            kind=type(envelope.payload).__name__,
-        )
-        self.messages.append(record)
+        kind = type(envelope.payload).__name__
+        kind_id = self._kind_ids.get(kind)
+        if kind_id is None:
+            kind_id = len(self._kind_names)
+            self._kind_ids[kind] = kind_id
+            self._kind_names.append(kind)
         self._message_times.append(envelope.send_time)
-        if envelope.payload_digest is not None:
-            self._payload_digests.add(envelope.payload_digest)
+        self._message_senders.append(sender)
+        self._message_recipients.append(envelope.recipient)
+        self._message_kind_ids.append(kind_id)
+        digest = envelope.payload_digest
+        if digest is not None:
+            self._payload_digests.add(digest)
 
     def record_decision(self, time: float, view: int, leader: int) -> None:
         """Record that ``leader`` produced a QC for its own view ``view``."""
-        self.decisions.append(
-            DecisionRecord(
-                time=time, view=view, leader=leader, leader_honest=leader in self.honest_ids
-            )
-        )
+        honest = leader in self.honest_ids
+        index = len(self._decision_times)
+        self._decision_times.append(time)
+        self._decision_views.append(view)
+        self._decision_leaders.append(leader)
+        self._decision_honest.append(honest)
+        if honest:
+            times = self._honest_decision_times
+            if times and time < times[-1]:
+                # Out-of-order insertion only happens for hand-fed
+                # collectors; simulator-driven decisions arrive in time
+                # order and take the append path.
+                position = bisect.bisect_right(times, time)
+                times.insert(position, time)
+                self._honest_decision_indices.insert(position, index)
+            else:
+                times.append(time)
+                self._honest_decision_indices.append(index)
 
     def record_qc(self) -> None:
         """Count one QC formation (any leader)."""
@@ -123,11 +178,58 @@ class MetricsCollector:
 
     def record_commit(self, pid: int, view: int, block_id: str, time: float) -> None:
         """Record a block commit at one replica."""
-        self.commits.append(CommitRecord(time=time, pid=pid, view=view, block_id=block_id))
+        self._commit_times.append(time)
+        self._commit_pids.append(pid)
+        self._commit_views.append(view)
+        self._commit_block_ids.append(block_id)
 
     def record_epoch_sync(self, pid: int, epoch: int, time: float) -> None:
         """Record that ``pid`` participated in a heavy (all-to-all) epoch synchronisation."""
         self.epoch_syncs.append((time, pid, epoch))
+
+    # ------------------------------------------------------------------
+    # Lazy record materialisation (the pre-columnar public attributes)
+    # ------------------------------------------------------------------
+    @property
+    def messages(self) -> list[MessageRecord]:
+        """All honest-sender message records, in send order (fresh list)."""
+        kind_names = self._kind_names
+        return [
+            MessageRecord(time=time, sender=sender, recipient=recipient,
+                          kind=kind_names[kind_id])
+            for time, sender, recipient, kind_id in zip(
+                self._message_times,
+                self._message_senders,
+                self._message_recipients,
+                self._message_kind_ids,
+            )
+        ]
+
+    def _decision_record(self, index: int) -> DecisionRecord:
+        return DecisionRecord(
+            time=self._decision_times[index],
+            view=self._decision_views[index],
+            leader=self._decision_leaders[index],
+            leader_honest=bool(self._decision_honest[index]),
+        )
+
+    @property
+    def decisions(self) -> list[DecisionRecord]:
+        """All decision records, in recording order (fresh list)."""
+        return [self._decision_record(i) for i in range(len(self._decision_times))]
+
+    @property
+    def commits(self) -> list[CommitRecord]:
+        """All commit records, in recording order (fresh list)."""
+        return [
+            CommitRecord(time=time, pid=pid, view=view, block_id=block_id)
+            for time, pid, view, block_id in zip(
+                self._commit_times,
+                self._commit_pids,
+                self._commit_views,
+                self._commit_block_ids,
+            )
+        ]
 
     # ------------------------------------------------------------------
     # Queries: messages
@@ -142,17 +244,26 @@ class MetricsCollector:
         return hi - lo
 
     def message_kinds_between(self, start: float, end: float) -> dict[str, int]:
-        """Honest message counts per payload type in ``[start, end)``."""
-        counts: dict[str, int] = {}
-        for record in self.messages:
-            if start <= record.time < end:
-                counts[record.kind] = counts.get(record.kind, 0) + 1
-        return counts
+        """Honest message counts per payload type in ``[start, end)``.
+
+        Bisects the sorted send-time column to the interval and counts kind
+        tokens only inside it, instead of scanning every record per call.
+        """
+        lo = bisect.bisect_left(self._message_times, start)
+        hi = bisect.bisect_left(self._message_times, end)
+        id_counts = [0] * len(self._kind_names)
+        for kind_id in self._message_kind_ids[lo:hi]:
+            id_counts[kind_id] += 1
+        return {
+            name: count
+            for name, count in zip(self._kind_names, id_counts)
+            if count
+        }
 
     @property
     def total_honest_messages(self) -> int:
         """Total messages sent by honest processors during the run."""
-        return len(self.messages)
+        return len(self._message_times)
 
     @property
     def distinct_payloads_sent(self) -> int:
@@ -166,21 +277,25 @@ class MetricsCollector:
         count is the same content fanned out (``None`` without digests)."""
         if not self._payload_digests:
             return None
-        return len(self.messages) / len(self._payload_digests)
+        return len(self._message_times) / len(self._payload_digests)
 
     # ------------------------------------------------------------------
     # Queries: decisions
     # ------------------------------------------------------------------
     def honest_decisions(self) -> list[DecisionRecord]:
         """QCs produced by honest leaders, in time order."""
-        return [d for d in self.decisions if d.leader_honest]
+        return [self._decision_record(i) for i in self._honest_decision_indices]
 
     def first_honest_decision_after(self, time: float) -> Optional[DecisionRecord]:
-        """The paper's ``t*_T``: the first honest-leader QC strictly after ``time``."""
-        for decision in self.decisions:
-            if decision.leader_honest and decision.time > time:
-                return decision
-        return None
+        """The paper's ``t*_T``: the first honest-leader QC strictly after ``time``.
+
+        One bisect on the sorted honest-decision-times column (the
+        pre-columnar collector scanned every decision per call).
+        """
+        position = bisect.bisect_right(self._honest_decision_times, time)
+        if position == len(self._honest_decision_times):
+            return None
+        return self._decision_record(self._honest_decision_indices[position])
 
     def communication_after(self, time: float) -> Optional[int]:
         """The paper's ``W_T``: honest messages between ``time`` and ``t*_time``.
@@ -188,29 +303,38 @@ class MetricsCollector:
         Returns ``None`` when no honest-leader decision follows ``time`` in
         the run (``t*_T`` would be infinite).
         """
-        decision = self.first_honest_decision_after(time)
-        if decision is None:
+        position = bisect.bisect_right(self._honest_decision_times, time)
+        if position == len(self._honest_decision_times):
             return None
-        return self.messages_between(time, decision.time)
+        return self.messages_between(time, self._honest_decision_times[position])
 
     def latency_after(self, time: float) -> Optional[float]:
         """``t*_T - T``, or ``None`` if no honest-leader decision follows ``time``."""
-        decision = self.first_honest_decision_after(time)
-        if decision is None:
+        position = bisect.bisect_right(self._honest_decision_times, time)
+        if position == len(self._honest_decision_times):
             return None
-        return decision.time - time
+        return self._honest_decision_times[position] - time
+
+    def honest_decision_times_after(self, after: float) -> list[float]:
+        """Sorted honest-leader decision times at or after ``after``."""
+        position = bisect.bisect_left(self._honest_decision_times, after)
+        return list(self._honest_decision_times[position:])
 
     def decision_gaps(self, after: float = 0.0) -> list[float]:
         """Gaps between consecutive honest-leader decisions occurring after ``after``."""
-        times = [d.time for d in self.honest_decisions() if d.time >= after]
+        times = self.honest_decision_times_after(after)
         return [later - earlier for earlier, later in zip(times, times[1:])]
 
     def messages_per_gap(self, after: float = 0.0) -> list[int]:
-        """Honest message counts between consecutive honest-leader decisions after ``after``."""
-        times = [d.time for d in self.honest_decisions() if d.time >= after]
-        return [
-            self.messages_between(earlier, later) for earlier, later in zip(times, times[1:])
-        ]
+        """Honest message counts between consecutive honest-leader decisions after ``after``.
+
+        One bisect per decision boundary on the sorted send-time column; the
+        pre-columnar implementation paid O(decisions × messages).
+        """
+        times = self.honest_decision_times_after(after)
+        message_times = self._message_times
+        boundaries = [bisect.bisect_left(message_times, time) for time in times]
+        return [later - earlier for earlier, later in zip(boundaries, boundaries[1:])]
 
     # ------------------------------------------------------------------
     # Queries: views and epochs
@@ -228,4 +352,13 @@ class MetricsCollector:
 
     def commits_for(self, pid: int) -> list[CommitRecord]:
         """All commits observed at processor ``pid``."""
-        return [c for c in self.commits if c.pid == pid]
+        return [
+            CommitRecord(
+                time=self._commit_times[i],
+                pid=pid,
+                view=self._commit_views[i],
+                block_id=self._commit_block_ids[i],
+            )
+            for i in range(len(self._commit_times))
+            if self._commit_pids[i] == pid
+        ]

@@ -122,13 +122,13 @@ class RunMetrics:
 
 def extract_run_metrics(metrics: MetricsCollector) -> RunMetrics:
     """Reduce a live collector to its picklable :class:`RunMetrics` residue."""
-    times = [d.time for d in metrics.honest_decisions()]
+    times = metrics.honest_decision_times_after(0.0)
+    # messages_per_gap bisects each decision boundary once on the sorted
+    # send-time column; its consecutive differences are exactly the per-gap
+    # counts messages_between would return pairwise.
     return RunMetrics(
         decision_times=tuple(times),
-        gap_message_counts=tuple(
-            metrics.messages_between(earlier, later)
-            for earlier, later in zip(times, times[1:])
-        ),
+        gap_message_counts=tuple(metrics.messages_per_gap(after=0.0)),
         epoch_sync_events=tuple(
             (t, epoch)
             for t, pid, epoch in metrics.epoch_syncs

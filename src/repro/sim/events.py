@@ -3,7 +3,10 @@
 The kernel is intentionally small: a priority queue of ``(time, sequence)``
 ordered events, each carrying a callback.  Everything else in the library
 (network delivery, local-clock timers, protocol timeouts) is built on top of
-:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` (cancellable
+timers) and :meth:`Simulator.schedule_fired` /
+:meth:`Simulator.schedule_fired_at` (the handle-free fast lane used by
+network deliveries).
 
 Determinism: ties on time are broken by insertion order, and all randomness
 in the library flows through :attr:`Simulator.rng`, which is seeded at
@@ -19,10 +22,13 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
-# Heap entries are plain ``(time, seq, handle)`` tuples: tuple comparison runs
-# in C and never reaches the handle (seq is unique), where a dataclass with
-# ``order=True`` paid a Python-level ``__lt__`` on every sift — a measurable
-# share of large-n runs.
+# Heap entries are plain ``(time, seq, handle_or_None, callback, args)``
+# tuples: tuple comparison runs in C and never reaches the third element
+# (seq is unique), where a dataclass with ``order=True`` paid a Python-level
+# ``__lt__`` on every sift — a measurable share of large-n runs.  Fire-and-
+# forget events (the bulk of all events: every network delivery) carry
+# ``None`` in the handle slot, so they cost one tuple and nothing else — no
+# EventHandle allocation and no cancellation bookkeeping on the hot path.
 
 
 class EventHandle:
@@ -85,12 +91,13 @@ class Simulator:
     #: ``run(until=...)`` would otherwise never return.  Exceeding the budget
     #: raises :class:`SimulationError` instead of livelocking; legitimate
     #: bursts (n^2 broadcast deliveries at one instant) sit far below it.
+    #: Handle-free :meth:`schedule_fired` events draw on the same budget.
     MAX_EVENTS_PER_TIMESTAMP = 100_000
 
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._queue: list[tuple[float, int, Optional[EventHandle], Callable[..., None], tuple]] = []
         self._events_processed = 0
         self._events_at_now = 0
         self._cancelled_pending = 0
@@ -155,8 +162,45 @@ class Simulator:
             )
         handle = EventHandle(time, callback, args, label=label, sim=self)
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, handle))
+        heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
         return handle
+
+    def schedule_fired(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule ``callback(*args)`` ``delay`` units from now, fire-and-forget.
+
+        The fast lane for events that are never cancelled or inspected:
+        no :class:`EventHandle` is allocated and no cancellation bookkeeping
+        happens — the event is one heap tuple.  All network deliveries go
+        through this path; use :meth:`schedule` when the caller may need to
+        cancel (timers, timeouts).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, None, callback, args))
+
+    def schedule_fired_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``, fire-and-forget.
+
+        The absolute-time variant of :meth:`schedule_fired`; same contract
+        (no handle, no cancellation).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}, which is before now={self._now!r}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, None, callback, args))
 
     # ------------------------------------------------------------------
     # Lazy-cancellation bookkeeping
@@ -179,14 +223,29 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries from the heap and restore the invariant."""
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
-        heapq.heapify(self._queue)
+        """Drop cancelled entries from the heap and restore the invariant.
+
+        Compacts **in place**: run() holds a local reference to the queue
+        list across events, so rebinding ``self._queue`` here would leave it
+        draining a stale list.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[2] is None or not entry[2].cancelled]
+        heapq.heapify(queue)
         self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _budget_exceeded(self) -> SimulationError:
+        return SimulationError(
+            f"more than {self.MAX_EVENTS_PER_TIMESTAMP} events executed at "
+            f"timestamp {self._now!r} without time advancing; this is almost "
+            "always a zero-delay event chain (e.g. a delay model proposing "
+            "0.0 for every message) — give NetworkConfig a min_delay floor "
+            "or raise Simulator.MAX_EVENTS_PER_TIMESTAMP"
+        )
+
     def step(self) -> bool:
         """Execute the next non-cancelled event.
 
@@ -199,26 +258,22 @@ class Simulator:
             If more than :attr:`MAX_EVENTS_PER_TIMESTAMP` events execute
             without virtual time advancing (a zero-delay event chain).
         """
-        while self._queue:
-            time, _, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                self._cancelled_pending -= 1
-                continue
+        queue = self._queue
+        while queue:
+            time, _, handle, callback, args = heapq.heappop(queue)
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                handle.fired = True
             if time != self._now:
                 self._now = time
                 self._events_at_now = 0
             self._events_at_now += 1
             if self._events_at_now > self.MAX_EVENTS_PER_TIMESTAMP:
-                raise SimulationError(
-                    f"more than {self.MAX_EVENTS_PER_TIMESTAMP} events executed at "
-                    f"timestamp {self._now!r} without time advancing; this is almost "
-                    "always a zero-delay event chain (e.g. a delay model proposing "
-                    "0.0 for every message) — give NetworkConfig a min_delay floor "
-                    "or raise Simulator.MAX_EVENTS_PER_TIMESTAMP"
-                )
-            handle.fired = True
+                raise self._budget_exceeded()
             self._events_processed += 1
-            handle.callback(*handle.args)
+            callback(*args)
             return True
         return False
 
@@ -234,35 +289,47 @@ class Simulator:
         ``until`` even if the queue drained earlier, so callers can treat it
         as "advance virtual time to this point".
         """
-        budget = max_events if max_events is not None else None
-        while self._queue:
-            if budget is not None and budget <= 0:
+        # The pop loop is inlined rather than composed from _peek_time() +
+        # step(): the composed form peeked and re-popped the heap root for
+        # every event, which profiling showed was the single largest
+        # kernel-side cost of large-n runs.
+        queue = self._queue
+        budget = max_events if max_events is not None else -1
+        if max_events is not None and budget <= 0:
+            return
+        max_at_now = self.MAX_EVENTS_PER_TIMESTAMP
+        while queue:
+            if budget == 0:
                 return
-            next_time = self._peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+            entry = queue[0]
+            handle = entry[2]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 if until > self._now:
                     self._now = until
                     self._events_at_now = 0
                 return
-            self.step()
-            if budget is not None:
+            heapq.heappop(queue)
+            if handle is not None:
+                handle.fired = True
+            if time != self._now:
+                self._now = time
+                self._events_at_now = 1
+            else:
+                self._events_at_now += 1
+                if self._events_at_now > max_at_now:
+                    raise self._budget_exceeded()
+            self._events_processed += 1
+            entry[3](*entry[4])
+            if budget > 0:
                 budget -= 1
         if until is not None and until > self._now:
             self._now = until
             self._events_at_now = 0
-
-    def _peek_time(self) -> Optional[float]:
-        """Return the time of the next non-cancelled event, if any."""
-        while self._queue:
-            entry = self._queue[0]
-            if entry[2].cancelled:
-                heapq.heappop(self._queue)
-                self._cancelled_pending -= 1
-                continue
-            return entry[0]
-        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

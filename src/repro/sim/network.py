@@ -151,6 +151,39 @@ class DelayModel(ABC):
             to the partial-synchrony deadline ``max(GST, send_time) + Delta``.
         """
 
+    def propose_delays(self, sends: Sequence["PendingSend"], sim: Simulator) -> list[float]:
+        """Propose delays for a whole batch of messages at once, in order.
+
+        The vectorised form of :meth:`propose_delay`, called by the
+        network's batched send paths (:meth:`Network.broadcast` /
+        :meth:`Network.multicast`) to obtain every recipient's delay up
+        front before grouping deliveries by identical deliver-time.
+
+        The default delegates to :meth:`propose_delay` once per send, **in
+        list order**, so any model is automatically batchable with an
+        unchanged RNG stream — a batched run and a per-recipient run draw
+        the same random numbers in the same order.  Models that can do
+        better override it (:class:`FixedDelay` skips the calls entirely,
+        :class:`UniformDelay` draws directly); overrides must preserve the
+        one-draw-per-send RNG discipline or document that they diverge.
+
+        Parameters
+        ----------
+        sends:
+            The :class:`PendingSend` descriptions, one per recipient, in
+            delivery-schedule order.
+        sim:
+            The simulator (``sim.rng`` for randomness, ``sim.now`` for time).
+
+        Returns
+        -------
+        list[float]
+            One proposed delay per entry of ``sends``, same order.  Advisory
+            like :meth:`propose_delay`: the network floors and clamps each.
+        """
+        propose = self.propose_delay
+        return [propose(send, sim) for send in sends]
+
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
         return type(self).__name__
@@ -208,6 +241,9 @@ class FixedDelay(DelayModel):
     def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
         return self.delay
 
+    def propose_delays(self, sends: Sequence[PendingSend], sim: Simulator) -> list[float]:
+        return [self.delay] * len(sends)
+
     def constant_delay(self) -> Optional[float]:
         return self.delay
 
@@ -232,6 +268,13 @@ class UniformDelay(DelayModel):
 
     def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
         return sim.rng.uniform(self.low, self.high)
+
+    def propose_delays(self, sends: Sequence[PendingSend], sim: Simulator) -> list[float]:
+        # Same draws in the same order as the per-message path, without the
+        # per-send method dispatch.
+        uniform = sim.rng.uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in sends]
 
     def describe(self) -> str:
         return f"UniformDelay({self.low}, {self.high})"
@@ -380,6 +423,15 @@ class Network:
         digest is computed **once per send call** — :meth:`broadcast` and
         :meth:`multicast` hoist it out of their per-recipient loops, so a
         payload is canonicalised once however many recipients it goes to.
+    batch_deliveries:
+        Whether :meth:`broadcast` / :meth:`multicast` group recipients by
+        identical deliver-time and schedule **one** fire-and-forget event
+        per distinct timestamp (the default).  ``False`` selects the
+        per-recipient reference path — one scheduled event per envelope —
+        kept for the equivalence property tests; both paths produce the
+        same envelopes, delivery times and delivery order (see
+        :meth:`DelayModel.propose_delays` for the RNG discipline that
+        makes this hold for randomised models).
     """
 
     def __init__(
@@ -388,9 +440,11 @@ class Network:
         config: NetworkConfig,
         delay_model: Optional[DelayModel] = None,
         crypto_backend: Optional["CryptoBackend"] = None,
+        batch_deliveries: bool = True,
     ) -> None:
         self.sim = sim
         self.config = config
+        self.batch_deliveries = batch_deliveries
         self.delay_model = delay_model or FixedDelay(config.actual_delay)
         self.crypto_backend = crypto_backend
         self._processes: dict[int, Any] = {}
@@ -508,48 +562,86 @@ class Network:
         # so it is canonicalised/digested once per broadcast, not once per
         # recipient (regression-tested with a call-counting backend).
         payload_digest = self._payload_digest(payload)
-        if self._constant_floored_delay is not None:
-            return self._broadcast_batched(sender, payload, include_self, payload_digest)
+        if include_self:
+            pids: Sequence[int] = self._sorted_ids
+        else:
+            pids = [pid for pid in self._sorted_ids if pid != sender]
+        if self.batch_deliveries:
+            return self._send_grouped(sender, pids, payload, now, payload_digest)
         envelopes = []
-        for pid in self._sorted_ids:
-            if pid == sender and not include_self:
-                continue
+        for pid in pids:
             envelopes.append(
                 self._send_one(sender, pid, payload, now, listeners, payload_digest)
             )
         return envelopes
 
-    def _broadcast_batched(
-        self, sender: int, payload: Any, include_self: bool, payload_digest: Optional[str]
+    def _send_grouped(
+        self,
+        sender: int,
+        pids: Sequence[int],
+        payload: Any,
+        now: float,
+        payload_digest: Optional[str],
     ) -> list[Envelope]:
-        """Broadcast under a constant-delay model: one delivery event total.
+        """Shared batched send path: one delivery event per distinct timestamp.
 
-        Every non-self recipient shares the same delivery time, so instead of
-        one scheduled event per recipient (heap entry + handle + dispatch,
-        the dominant kernel cost of large-``n`` broadcasts) a single event
-        delivers the whole batch in ascending processor-id order — the same
-        order the individual events fired in, so runs are unchanged.  The
-        self-copy keeps its immediate delivery.  Note ``events_processed``
-        counts the batch as one event.
+        All recipient delays are proposed up front (a constant-delay model
+        skips the :class:`PendingSend` construction and the
+        :meth:`DelayModel.propose_delays` call entirely), deliveries are
+        grouped by identical deliver-time, and each group is scheduled as a
+        single handle-free event instead of one event per recipient — heap
+        entries, handle allocations and dispatches all drop from
+        O(recipients) to O(distinct timestamps).  Within a group, envelopes
+        are delivered in ``pids`` order, exactly the order the per-recipient
+        events would have fired in (equal time, ascending insertion seq), so
+        runs are unchanged — including a self-copy, which joins the ``now``
+        group at its ``pids`` position and so keeps both its immediate
+        delivery and its place relative to zero-delay peers.  Note
+        ``events_processed`` counts each group as one event.
         """
         sim = self.sim
-        now = sim.now
         listeners = self.send_listeners
-        deliver_time = min(
-            now + self._constant_floored_delay,
-            max(self.config.gst, now) + self.config.delta,
-        )
+        config = self.config
+        deadline = max(config.gst, now) + config.delta
+        constant = self._constant_floored_delay
+        delay_iter = None
+        constant_time = now
+        min_delay = 0.0
+        if constant is not None:
+            constant_time = now + constant
+            if constant_time > deadline:
+                constant_time = deadline
+        else:
+            after_gst = now >= config.gst
+            pending = [
+                PendingSend(sender, pid, payload, now, after_gst)
+                for pid in pids
+                if pid != sender
+            ]
+            delays = self._delay_model.propose_delays(pending, sim)
+            if len(delays) != len(pending):
+                raise SimulationError(
+                    f"{self._delay_model.describe()}.propose_delays returned "
+                    f"{len(delays)} delays for {len(pending)} sends"
+                )
+            delay_iter = iter(delays)
+            min_delay = config.min_delay
         next_id = self._msg_ids
         envelopes: list[Envelope] = []
-        batch: list[Envelope] = []
-        for pid in self._sorted_ids:
+        groups: dict[float, list[Envelope]] = {}
+        for pid in pids:
             if pid == sender:
-                if not include_self:
-                    continue
-                envelopes.append(
-                    self._send_one(sender, pid, payload, now, listeners, payload_digest)
-                )
-                continue
+                # Self-messages are received immediately (paper, Section 4).
+                deliver_time = now
+            elif delay_iter is None:
+                deliver_time = constant_time
+            else:
+                delay = next(delay_iter)
+                if delay < min_delay:
+                    delay = min_delay
+                deliver_time = now + delay
+                if deliver_time > deadline:
+                    deliver_time = deadline
             envelope = Envelope(
                 msg_id=next(next_id),
                 sender=sender,
@@ -563,9 +655,17 @@ class Network:
             for listener in listeners:
                 listener(envelope)
             envelopes.append(envelope)
-            batch.append(envelope)
-        if batch:
-            sim.schedule_at(deliver_time, self._deliver_batch, batch, label="deliver-batch")
+            group = groups.get(deliver_time)
+            if group is None:
+                groups[deliver_time] = [envelope]
+            else:
+                group.append(envelope)
+        deliver = self._deliver
+        for deliver_time, batch in groups.items():
+            if len(batch) == 1:
+                sim.schedule_fired_at(deliver_time, deliver, batch[0])
+            else:
+                sim.schedule_fired_at(deliver_time, self._deliver_batch, batch)
         return envelopes
 
     def _deliver_batch(self, envelopes: Sequence[Envelope]) -> None:
@@ -588,12 +688,15 @@ class Network:
         now = self.sim.now
         listeners = self.send_listeners
         processes = self._processes
-        # Hoisted digest, as in broadcast(): one canonicalisation per send.
-        payload_digest = self._payload_digest(payload)
-        envelopes = []
         for pid in recipients:
             if pid not in processes:
                 raise SimulationError(f"unknown recipient {pid}")
+        # Hoisted digest, as in broadcast(): one canonicalisation per send.
+        payload_digest = self._payload_digest(payload)
+        if self.batch_deliveries:
+            return self._send_grouped(sender, recipients, payload, now, payload_digest)
+        envelopes = []
+        for pid in recipients:
             envelopes.append(
                 self._send_one(sender, pid, payload, now, listeners, payload_digest)
             )
@@ -632,7 +735,9 @@ class Network:
         self.messages_sent += 1
         for listener in listeners:
             listener(envelope)
-        self.sim.schedule_at(deliver_time, self._deliver, envelope, label="deliver")
+        # Deliveries are fire-and-forget: the handle-free lane skips the
+        # EventHandle allocation and cancellation bookkeeping entirely.
+        self.sim.schedule_fired_at(deliver_time, self._deliver, envelope)
         return envelope
 
     # ------------------------------------------------------------------

@@ -1,0 +1,301 @@
+"""Equivalence of batched and per-recipient delivery, across delay models.
+
+The network's batched send path (``Network.batch_deliveries = True``, the
+default) proposes all recipient delays up front, groups deliveries by
+identical deliver-time, and schedules one handle-free event per distinct
+timestamp.  The per-recipient reference path schedules one event per
+envelope.  These property-style tests assert the two paths are
+*observationally identical* — same envelopes, same delivery times, same
+delivery order, same decision sequences, commit ledgers and metrics totals —
+across seeds and every shipped delay model, plus regression tests that the
+handle-free ``schedule_fired`` lane respects the same-timestamp event
+budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.sim.events import Simulator
+from repro.sim.network import (
+    AdversarialDelay,
+    DelayModel,
+    FixedDelay,
+    Network,
+    NetworkConfig,
+    PendingSend,
+    PreGSTChaos,
+    TargetedDelay,
+    UniformDelay,
+)
+
+
+class RecordingSink:
+    """Minimal process recording (payload, sender, time) per delivery."""
+
+    def __init__(self, pid: int, sim: Simulator) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.received: list[tuple[object, int, float]] = []
+
+    def deliver(self, payload, sender):
+        self.received.append((payload, sender, self.sim.now))
+
+
+def delay_models() -> dict[str, DelayModel]:
+    """One instance of every shipped delay-model family (fresh per call)."""
+    return {
+        "fixed": FixedDelay(0.25),
+        "uniform": UniformDelay(0.05, 0.8),
+        "targeted": TargetedDelay(
+            UniformDelay(0.05, 0.3), targets=[1, 4], target_delay=0.9, direction="both"
+        ),
+        "adversarial": AdversarialDelay(
+            lambda info, sim: 0.1 + 0.05 * ((info.sender + info.recipient) % 7),
+            name="sum-mod-7",
+        ),
+        "pre-gst-chaos": PreGSTChaos(UniformDelay(0.05, 0.2), pre_gst_max_delay=10.0),
+        # Half the messages land at the send instant: exercises delivery
+        # ordering when the self-copy and zero-delay peers share a timestamp
+        # (the self-copy must keep its pid-order position in the batch).
+        "zero-or-slow": AdversarialDelay(
+            lambda info, sim: 0.0 if (info.sender + info.recipient) % 2 else 0.35,
+            name="zero-or-slow",
+        ),
+        "all-zero": FixedDelay(0.0),
+    }
+
+
+def run_workload(model: DelayModel, seed: int, batch: bool):
+    """A mixed broadcast/multicast/unicast workload; returns the full trace.
+
+    The trace captures everything either send path can influence: every
+    envelope's metadata in send order, every delivery in execution order,
+    and the kernel's RNG stream position at the end (equal streams mean the
+    batched path drew the same random delays in the same order).
+    """
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim,
+        NetworkConfig(delta=1.0, gst=2.0, actual_delay=0.9, pre_gst_max_delay=10.0),
+        model,
+        batch_deliveries=batch,
+    )
+    sinks = [RecordingSink(i, sim) for i in range(7)]
+    for sink in sinks:
+        net.register(sink)
+    sent: list[tuple] = []
+    net.send_listeners.append(
+        lambda e: sent.append((e.msg_id, e.sender, e.recipient, e.send_time, e.deliver_time))
+    )
+
+    def burst(round_index: int) -> None:
+        sender = round_index % 7
+        net.broadcast(sender, ("bcast", round_index))
+        net.multicast((sender + 1) % 7, [0, 3, 5], ("multi", round_index))
+        net.send(sender, (sender + 2) % 7, ("uni", round_index))
+
+    for round_index in range(12):
+        sim.schedule(0.4 * round_index, burst, round_index)
+    sim.run(until=20.0)
+
+    deliveries = [
+        (sink.pid, payload, sender, time)
+        for sink in sinks
+        for payload, sender, time in sink.received
+    ]
+    per_sink_order = {sink.pid: list(sink.received) for sink in sinks}
+    return {
+        "sent": sent,
+        "deliveries": sorted(deliveries),
+        "per_sink_order": per_sink_order,
+        "rng_probe": sim.rng.random(),
+        "messages_sent": net.messages_sent,
+        "messages_delivered": net.messages_delivered,
+    }
+
+
+@pytest.mark.parametrize("model_name", sorted(delay_models()))
+@pytest.mark.parametrize("seed", [0, 7, 91])
+def test_batched_and_reference_paths_produce_identical_traces(model_name, seed):
+    batched = run_workload(delay_models()[model_name], seed, batch=True)
+    reference = run_workload(delay_models()[model_name], seed, batch=False)
+    assert batched == reference
+
+
+class PropagationDelay(DelayModel):
+    """A model that only implements ``propose_delay``: exercises the default
+    (looping) ``propose_delays`` used by the batched path."""
+
+    def propose_delay(self, envelope_info: PendingSend, sim: Simulator) -> float:
+        return 0.05 + sim.rng.random() * 0.4
+
+
+def test_default_propose_delays_preserves_the_rng_stream():
+    batched = run_workload(PropagationDelay(), seed=3, batch=True)
+    reference = run_workload(PropagationDelay(), seed=3, batch=False)
+    assert batched == reference
+
+
+def test_propose_delays_returning_wrong_length_is_rejected():
+    class Broken(FixedDelay):
+        def __init__(self):
+            super().__init__(0.1)
+
+        def propose_delays(self, sends, sim):
+            return [0.1]  # wrong length for any multi-recipient send
+
+        def constant_delay(self):
+            return None  # force the variable-delay batched path
+
+    sim = Simulator(seed=0)
+    net = Network(sim, NetworkConfig(), Broken())
+    sinks = [RecordingSink(i, sim) for i in range(3)]
+    for sink in sinks:
+        net.register(sink)
+    with pytest.raises(SimulationError, match="propose_delays"):
+        net.broadcast(0, "payload")
+
+
+def scenario_pair(model: DelayModel, seed: int, pacemaker: str = "lumiere"):
+    """Run one scenario twice — batched and reference delivery — and return both."""
+    results = []
+    for batch in (True, False):
+        config = ScenarioConfig(
+            n=7,
+            pacemaker=pacemaker,
+            delta=1.0,
+            actual_delay=0.5,
+            gst=0.0,
+            duration=40.0,
+            seed=seed,
+            delay_model=model,
+            record_trace=False,
+        )
+        result = build_scenario(config)
+        result.network.batch_deliveries = batch
+        for replica in result.replicas.values():
+            replica.start()
+        result.simulator.run(until=config.duration)
+        results.append(result)
+    return results
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_scenario_runs_are_equivalent_under_batched_delivery(seed):
+    model = UniformDelay(0.05, 0.45)
+    batched, reference = scenario_pair(model, seed)
+
+    batched_decisions = [
+        (d.time, d.view, d.leader) for d in batched.metrics.honest_decisions()
+    ]
+    reference_decisions = [
+        (d.time, d.view, d.leader) for d in reference.metrics.honest_decisions()
+    ]
+    assert batched_decisions == reference_decisions
+    assert len(batched_decisions) > 5  # the runs actually made progress
+
+    batched_ledgers = [r.ledger.block_ids for r in batched.honest_replicas]
+    reference_ledgers = [r.ledger.block_ids for r in reference.honest_replicas]
+    assert batched_ledgers == reference_ledgers
+
+    assert (
+        batched.metrics.total_honest_messages
+        == reference.metrics.total_honest_messages
+    )
+    assert batched.metrics.message_kinds_between(0.0, float("inf")) == (
+        reference.metrics.message_kinds_between(0.0, float("inf"))
+    )
+    assert batched.network.messages_delivered == reference.network.messages_delivered
+    # Continuous random delays rarely collide, so grouping may not merge
+    # anything — but it must never add events.
+    assert batched.simulator.events_processed <= reference.simulator.events_processed
+
+
+def test_batched_delivery_merges_events_under_discrete_delays():
+    """With delays on a lattice, many recipients share a deliver-time and the
+    batched path executes strictly fewer kernel events for the same trace."""
+    model_factory = lambda: AdversarialDelay(
+        lambda info, sim: 0.2 + 0.1 * ((info.sender + info.recipient) % 3),
+        name="lattice",
+    )
+    batched, reference = scenario_pair(model_factory(), seed=1)
+    assert [
+        (d.time, d.view, d.leader) for d in batched.metrics.honest_decisions()
+    ] == [(d.time, d.view, d.leader) for d in reference.metrics.honest_decisions()]
+    assert [r.ledger.block_ids for r in batched.honest_replicas] == [
+        r.ledger.block_ids for r in reference.honest_replicas
+    ]
+    assert batched.network.messages_delivered == reference.network.messages_delivered
+    assert batched.simulator.events_processed < reference.simulator.events_processed
+
+
+# ----------------------------------------------------------------------
+# schedule_fired and the same-timestamp event budget
+# ----------------------------------------------------------------------
+def test_schedule_fired_chain_respects_the_event_budget():
+    sim = Simulator()
+    sim.MAX_EVENTS_PER_TIMESTAMP = 50
+
+    def reschedule():
+        sim.schedule_fired(0.0, reschedule)
+
+    sim.schedule_fired(0.0, reschedule)
+    with pytest.raises(SimulationError, match="timestamp"):
+        sim.run(until=10.0)
+    assert sim.now == 0.0
+
+
+def test_zero_delay_batched_deliveries_respect_the_event_budget():
+    """A zero-delay *network* chain through the batched path still trips the
+    guard instead of livelocking ``run(until=...)``."""
+    sim = Simulator(seed=1)
+    sim.MAX_EVENTS_PER_TIMESTAMP = 100
+    net = Network(sim, NetworkConfig(delta=1.0, actual_delay=0.1), FixedDelay(0.0))
+
+    class Echo(RecordingSink):
+        def deliver(self, payload, sender):
+            super().deliver(payload, sender)
+            net.broadcast(self.pid, payload, include_self=False)
+
+    for pid in range(3):
+        net.register(Echo(pid, sim))
+    net.broadcast(0, "storm", include_self=False)
+    with pytest.raises(SimulationError, match="timestamp"):
+        sim.run(until=5.0)
+
+
+def test_schedule_fired_interleaves_with_handles_in_insertion_order():
+    sim = Simulator()
+    order: list[str] = []
+    sim.schedule(1.0, order.append, "handle-1")
+    sim.schedule_fired(1.0, order.append, "fired-1")
+    sim.schedule(1.0, order.append, "handle-2")
+    sim.schedule_fired_at(1.0, order.append, "fired-2")
+    sim.run()
+    assert order == ["handle-1", "fired-1", "handle-2", "fired-2"]
+
+
+def test_schedule_fired_rejects_negative_delay_and_past_times():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_fired(-0.1, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_fired_at(0.5, lambda: None)
+
+
+def test_schedule_fired_events_count_and_survive_compaction():
+    sim = Simulator()
+    sim.COMPACTION_MIN_CANCELLED = 2
+    fired: list[int] = []
+    sim.schedule_fired(2.0, fired.append, 1)
+    doomed = [sim.schedule(0.5 + i, lambda: fired.append(-1)) for i in range(5)]
+    for handle in doomed:
+        handle.cancel()  # triggers an in-place compaction sweep
+    sim.run()
+    assert fired == [1]
+    assert sim.events_processed == 1

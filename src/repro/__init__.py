@@ -12,6 +12,10 @@ harness that regenerates the paper's table and figure
 declarative sweeps over it — serially or on a process pool, with an
 on-disk result cache (:mod:`repro.runner`).
 
+The protocol core is runtime-agnostic (:mod:`repro.runtime`): the same
+replicas run under the simulator, on an asyncio loop in-memory, or over
+real TCP sockets (``examples/live_cluster.py`` boots a live n=4 cluster).
+
 Quickstart::
 
     from repro.experiments import ScenarioConfig, run_scenario

@@ -21,7 +21,7 @@ pacemaker's decision, delivered via :meth:`ConsensusEngine.on_enter_view`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.consensus.blocks import Block, GENESIS, GENESIS_ID
 from repro.consensus.messages import (
@@ -35,6 +35,10 @@ from repro.consensus.quorum import QuorumCertificate, VoteAggregator
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking only
     from repro.consensus.replica import Replica
+
+#: Sentinel distinguishing "type not classified yet" from "classified as
+#: ignorable" (which caches ``None``) in the dispatch table.
+_UNSEEN: Any = object()
 
 
 class ConsensusEngine(ABC):
@@ -68,6 +72,14 @@ class ChainedHotStuff(ConsensusEngine):
         self._announced_qcs: set[int] = set()
         self._learned_qcs: set[tuple[int, str]] = set()
         self._voted_views: set[int] = set()
+        # Exact-type dispatch table for on_message; subclasses of the four
+        # wire messages are resolved (and cached) on first sight.
+        self._handlers: dict[type, Optional[Callable[[Any, int], None]]] = {
+            NewView: self._handle_new_view,
+            Proposal: self._handle_proposal,
+            Vote: self._handle_vote,
+            QCAnnounce: self._handle_qc_announce,
+        }
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -105,14 +117,34 @@ class ChainedHotStuff(ConsensusEngine):
     # Message dispatch
     # ------------------------------------------------------------------
     def on_message(self, msg: ConsensusMessage, sender: int) -> None:
-        if isinstance(msg, NewView):
-            self._handle_new_view(msg, sender)
-        elif isinstance(msg, Proposal):
-            self._handle_proposal(msg, sender)
-        elif isinstance(msg, Vote):
-            self._handle_vote(msg, sender)
-        elif isinstance(msg, QCAnnounce):
-            self._handle_qc_announce(msg, sender)
+        """Dispatch on the concrete message class (one dict lookup per delivery).
+
+        The table is seeded with the four wire messages; a subclass (or an
+        unknown consensus message, which is ignored) pays the ``isinstance``
+        ladder once and is cached from then on.
+        """
+        handler = self._handlers.get(msg.__class__, _UNSEEN)
+        if handler is _UNSEEN:
+            handler = self._resolve_handler(msg.__class__)
+        if handler is not None:
+            handler(msg, sender)
+
+    def _resolve_handler(
+        self, message_type: type
+    ) -> Optional[Callable[[Any, int], None]]:
+        """Slow path: classify a new message type and cache the result."""
+        if issubclass(message_type, NewView):
+            handler: Optional[Callable[[Any, int], None]] = self._handle_new_view
+        elif issubclass(message_type, Proposal):
+            handler = self._handle_proposal
+        elif issubclass(message_type, Vote):
+            handler = self._handle_vote
+        elif issubclass(message_type, QCAnnounce):
+            handler = self._handle_qc_announce
+        else:
+            handler = None  # unknown consensus message: ignored, like before
+        self._handlers[message_type] = handler
+        return handler
 
     # ------------------------------------------------------------------
     # Leader logic
@@ -192,7 +224,7 @@ class ChainedHotStuff(ConsensusEngine):
             payload=replica.mempool.next_batch() + ("equivocation-b",),
             justify_view=justify.view if justify is not None else -1,
         )
-        all_ids = list(self.replica.network.process_ids)
+        all_ids = list(self.replica.runtime.process_ids)
         half = len(all_ids) // 2
         first, second = all_ids[:half], all_ids[half:]
 
@@ -335,6 +367,6 @@ class ChainedHotStuff(ConsensusEngine):
     # ------------------------------------------------------------------
     def _send_after(self, delay: float, action) -> None:
         if delay > 0:
-            self.replica.sim.schedule(delay, action)
+            self.replica.runtime.set_timer(delay, action)
         else:
             action()

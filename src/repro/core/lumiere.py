@@ -176,7 +176,7 @@ class LumierePacemaker(Pacemaker):
         self.clock.pause()
         self._paused_for = view
         self.trace("lumiere_epoch_pause", view=view, epoch=self.cfg.epoch_of(view))
-        self.replica.sim.schedule(
+        self.replica.runtime.set_timer(
             self.config.delta, self._after_pause_delay, view, label="lumiere-pause-delay"
         )
 

@@ -121,6 +121,18 @@ class MetricsCollector:
         """Subscribe to the network's send events."""
         network.send_listeners.append(self.on_send)
 
+    def attach_transport(self, transport) -> None:
+        """Subscribe to a live transport's send events.
+
+        Transports expose the same ``send_listeners`` surface as the
+        simulated network, so this simply delegates to
+        :meth:`attach_network` — live (wall-clock) runs record through the
+        identical hot path, with times being whatever the run's
+        :class:`~repro.runtime.base.Clock` reports (monotonic seconds since
+        cluster start for live clusters, virtual seconds under replay).
+        """
+        self.attach_network(transport)
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------

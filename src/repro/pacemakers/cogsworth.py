@@ -167,7 +167,7 @@ class CogsworthPacemaker(RoundRobinLeaderMixin, Pacemaker):
                 self.send(relay, WishMessage(view=target_view, partial=partial))
         self.trace("cogsworth_wish", view=target_view, relays=len(relays))
         # If the relay does not bring us into the view, fall back to the next one.
-        self._relay_timer = self.replica.sim.schedule(
+        self._relay_timer = self.replica.runtime.set_timer(
             self.cfg.relay_patience,
             self._on_relay_timeout,
             target_view,

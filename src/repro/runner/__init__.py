@@ -20,6 +20,11 @@ Typical use::
     result = campaign.run(backend="process", cache=".repro-cache")
     for record in result:
         print(record.run_id, record.summary.eventual_latency)
+
+The same grid can execute on the *live* protocol stack (asyncio runtime,
+in-memory transport, deterministic virtual clock) with
+``campaign.run(backend="live")``; see :mod:`repro.runner.live` for the
+live scenario API (``run_live_scenario``, ``TcpCluster``).
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -27,17 +32,51 @@ from repro.runner.campaign import Campaign, RunSpec, Sweep, config_fingerprint, 
 from repro.runner.executor import BACKENDS, CampaignResult, execute_cell, run_campaign
 from repro.runner.record import RunRecord
 
+#: Names resolved lazily from repro.runner.live (PEP 562): the live module
+#: pulls the whole asyncio runtime stack, which simulated campaigns never
+#: need — importing the package root must stay as cheap as it was.
+_LIVE_EXPORTS = frozenset(
+    {
+        "LiveExecutor",
+        "LiveRunResult",
+        "TcpCluster",
+        "build_live_scenario",
+        "execute_live_cell",
+        "run_live_scenario",
+        "run_live_scenario_async",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _LIVE_EXPORTS:
+        import importlib
+
+        live = importlib.import_module("repro.runner.live")
+        value = getattr(live, name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BACKENDS",
     "Campaign",
     "CampaignResult",
     "DEFAULT_CACHE_DIR",
+    "LiveExecutor",
+    "LiveRunResult",
     "ResultCache",
     "RunRecord",
     "RunSpec",
     "Sweep",
+    "TcpCluster",
+    "build_live_scenario",
     "config_fingerprint",
     "execute_cell",
+    "execute_live_cell",
     "run_campaign",
+    "run_live_scenario",
+    "run_live_scenario_async",
     "spec_key",
 ]

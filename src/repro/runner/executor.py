@@ -8,10 +8,15 @@ Two backends run the expanded cells of a :class:`~repro.runner.campaign.Campaign
   re-builds the scenario from ``(build, params)`` and returns a picklable
   :class:`~repro.runner.record.RunRecord`, so nothing unpicklable (replicas,
   traces, closure-based delay models) ever crosses the pool boundary.
+* ``"live"`` — the asyncio runtime under a deterministic virtual clock
+  (:mod:`repro.runner.live`): the same cells execute on the live protocol
+  stack (``LocalTransport``) instead of the simulator.  Live cache keys are
+  salted with a ``live:`` prefix so live and simulated records of the same
+  parameter point never collide in a shared cache.
 
-Because every simulation is seeded from its config alone, the two backends
-produce identical records for the same campaign — a property the test suite
-asserts byte-for-byte.
+Because every simulation is seeded from its config alone, the serial and
+process backends produce identical records for the same campaign — a
+property the test suite asserts byte-for-byte.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.runner.campaign import Campaign, ConfigBuilder, RunSpec
 from repro.runner.record import RunRecord
 
 #: Names accepted by the ``backend`` argument.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "live")
 
 
 def execute_cell(
@@ -121,6 +126,7 @@ def run_campaign(
     backend: str = "serial",
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, None] = None,
+    live_executor: Optional[Any] = None,
 ) -> CampaignResult:
     """Execute ``campaign`` on the chosen backend, consulting ``cache`` first.
 
@@ -128,11 +134,40 @@ def run_campaign(
     are content hashes, so the same configuration reached from a different
     campaign name still hits).  Only missing cells are executed; fresh
     records are written back to the cache as they complete.
+
+    ``live_executor`` customises the ``"live"`` backend (e.g.
+    ``LiveExecutor(jitter=0.05)``); it is rejected for the simulated
+    backends so a configured-but-unused executor cannot pass silently.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown campaign backend {backend!r}; expected one of {BACKENDS}"
         )
+    if live_executor is not None and backend != "live":
+        raise ConfigurationError(
+            f"live_executor is only meaningful with backend='live', got {backend!r}"
+        )
+    if workers is not None and backend == "live":
+        raise ConfigurationError(
+            "the live backend runs cells serially on one event loop; "
+            "workers is only meaningful with backend='process'"
+        )
+
+    # Live records describe a different execution substrate than simulated
+    # ones, so their cache identity is salted with the executor's prefix
+    # (which also folds in its jitter): the same parameter point under
+    # "serial"/"process" and under differently configured live executors
+    # occupies distinct cache entries.
+    executor = None
+    key_prefix = ""
+    if backend == "live":
+        # Lazy import: the live module pulls the asyncio runtime stack,
+        # which simulated campaigns never need.
+        from repro.runner.live import LiveExecutor
+
+        executor = live_executor if live_executor is not None else LiveExecutor()
+        key_prefix = executor.cache_salt
+
     store = _resolve_cache(cache)
     started = time.perf_counter()
     specs = campaign.expand()
@@ -141,7 +176,8 @@ def run_campaign(
     slots: list[Optional[RunRecord]] = [None] * len(specs)
     todo: list[tuple[int, RunSpec]] = []
     for index, spec in enumerate(specs):
-        hit = store.get(spec.key) if store is not None else None
+        cell_key = key_prefix + spec.key
+        hit = store.get(cell_key) if store is not None else None
         if hit is not None:
             slots[index] = hit.rebound(spec.run_id, spec.params)
             result.cache_hits += 1
@@ -159,7 +195,20 @@ def run_campaign(
     # The process backend is used even for a single missing cell: falling
     # back to in-process execution would mask pickling errors (and mislabel
     # the result) until the first cold-cache run on another machine.
-    if backend == "serial" or not todo:
+    if backend == "live":
+        for index, spec in todo:
+            finish(
+                index,
+                executor(
+                    campaign.build,
+                    spec.params,
+                    spec.run_id,
+                    key_prefix + spec.key,
+                    campaign.max_events,
+                    config=spec.config,
+                ),
+            )
+    elif backend == "serial" or not todo:
         for index, spec in todo:
             finish(
                 index,

@@ -1,0 +1,503 @@
+"""Live scenario execution: the campaign layer over the asyncio runtime.
+
+Mirrors :mod:`repro.experiments.scenario` for runs that execute on an
+:class:`~repro.runtime.asyncio_runtime.AsyncioRuntime` instead of the
+discrete-event simulator:
+
+* :func:`build_live_scenario` / :func:`run_live_scenario` — a whole cluster
+  in-memory over a :class:`~repro.runtime.transports.LocalTransport`.
+  Under the default :class:`~repro.runtime.asyncio_runtime.VirtualClock`
+  this is the deterministic fast path (a zero-jitter run reproduces the
+  simulator's decisions and ledgers exactly); pass a
+  :class:`~repro.runtime.asyncio_runtime.MonotonicClock` for wall-clock
+  pacing.
+* :class:`TcpCluster` — n nodes over real TCP sockets on localhost, each
+  with its own :class:`~repro.runtime.tcp.TcpTransport` and runtime,
+  sharing one wall clock so metrics land on one timeline.
+* :class:`LiveExecutor` / :func:`execute_live_cell` — the ``"live"``
+  campaign backend: a :class:`~repro.runner.campaign.Campaign` sweeps
+  live-cluster cells exactly like simulated ones, producing the same
+  picklable :class:`~repro.runner.record.RunRecord` rows (cache keys are
+  salted with ``live:`` so live and simulated records never collide).
+
+Live runs support crash/recovery behaviours (they are timer-driven) but not
+simulator delay models or named fault scenarios — those are expressed in
+terms of the simulated network's adversary hooks; the live knobs are the
+transport's ``delay``/``jitter``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.adversary.corruption import CorruptionPlan
+from repro.config import ProtocolConfig
+from repro.consensus.ledger import ledgers_consistent
+from repro.consensus.replica import Replica
+from repro.crypto.backend import CryptoBackend, make_backend, set_default_backend
+from repro.crypto.signatures import PKI
+from repro.crypto.threshold import ThresholdScheme
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import ComplexitySummary, RunMetrics, extract_run_metrics, summarize_run
+from repro.pacemakers.registry import make_pacemaker_factory
+from repro.runner.record import RunRecord
+from repro.runtime import (
+    AsyncioRuntime,
+    Clock,
+    LocalTransport,
+    MonotonicClock,
+    RuntimeContext,
+    TcpTransport,
+    Transport,
+    VirtualClock,
+)
+from repro.sim.tracing import TraceRecorder
+
+#: How far behind zero a replica's local clock is re-anchored immediately
+#: before ``start()`` on wall-clock runs.  Under the simulator, construction
+#: and start happen at the same virtual instant, so ``lc(p) == 0 == c_0``
+#: exactly and the first epoch event fires; on a wall clock, milliseconds
+#: elapse in between, the local clock drifts past ``c_0`` and clock-driven
+#: pacemakers would skip their bootstrap view.  Starting a hair early is
+#: indistinguishable from a slightly later protocol start.
+WALL_START_GRACE = 0.05
+
+
+def _start_replicas(replicas: dict[int, Replica], wall: bool) -> None:
+    """Start replicas in pid order, re-anchoring local clocks on wall runs."""
+    for pid in sorted(replicas):
+        if wall:
+            replicas[pid].clock.set_to(-WALL_START_GRACE)
+        replicas[pid].start()
+
+
+def _build_protocol_stack(
+    config: ScenarioConfig,
+) -> tuple[ProtocolConfig, CryptoBackend, CorruptionPlan, MetricsCollector, PKI, dict, ThresholdScheme, TraceRecorder]:
+    """The runtime-independent half of scenario construction.
+
+    Validates the config for live execution, installs the crypto backend,
+    builds keys, scheme, metrics and the corruption plan — everything
+    :func:`repro.experiments.scenario.build_scenario` does before it
+    touches the simulator.
+    """
+    if config.delay_model is not None or config.scenario is not None:
+        raise ConfigurationError(
+            "live runs model latency with the transport's delay/jitter, not "
+            "with simulator delay models or named scenarios; leave "
+            "delay_model and scenario unset"
+        )
+    protocol_config = config.protocol_config()
+    corruption = config.corruption or CorruptionPlan.none(protocol_config)
+    if corruption.config.n != protocol_config.n:
+        raise ConfigurationError("corruption plan was built for a different system size")
+    crypto_backend = make_backend(protocol_config.crypto_backend)
+    set_default_backend(crypto_backend)
+    metrics = MetricsCollector()
+    metrics.set_honest(corruption.honest_ids)
+    pki, signing_keys = PKI.setup(protocol_config.processor_ids, backend=crypto_backend)
+    scheme = ThresholdScheme(pki)
+    trace = TraceRecorder(enabled=config.record_trace)
+    return protocol_config, crypto_backend, corruption, metrics, pki, signing_keys, scheme, trace
+
+
+def _make_replica(
+    pid: int,
+    ctx: RuntimeContext,
+    config: ScenarioConfig,
+    protocol_config: ProtocolConfig,
+    pki: PKI,
+    signing_keys: dict,
+    scheme: ThresholdScheme,
+    metrics: MetricsCollector,
+    corruption: CorruptionPlan,
+) -> Replica:
+    factory = make_pacemaker_factory(config.pacemaker, protocol_config, config.pacemaker_config)
+    return Replica(
+        pid=pid,
+        ctx=ctx,
+        config=protocol_config,
+        pki=pki,
+        signing_key=signing_keys[pid],
+        scheme=scheme,
+        pacemaker_factory=factory,
+        metrics=metrics,
+        behaviour=corruption.behaviour_for(pid),
+    )
+
+
+@dataclass
+class LiveRunResult:
+    """The outcome of one live (asyncio-runtime) run.
+
+    The live sibling of
+    :class:`~repro.experiments.scenario.ScenarioResult`: same summaries and
+    safety helpers, with the runtime and transport in place of the
+    simulator and network.
+    """
+
+    config: ScenarioConfig
+    protocol_config: ProtocolConfig
+    metrics: MetricsCollector
+    trace: TraceRecorder
+    replicas: dict[int, Replica]
+    corruption: CorruptionPlan
+    runtime: AsyncioRuntime
+    transport: Transport
+    crypto_backend: Optional[CryptoBackend] = None
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self, warmup_decisions: int = 5) -> ComplexitySummary:
+        """The Table-1 measures for this run."""
+        return summarize_run(
+            self.metrics,
+            protocol=self.config.pacemaker,
+            n=self.config.n,
+            f_actual=self.corruption.f_actual,
+            gst=self.config.gst,
+            delta=self.config.delta,
+            warmup_decisions=warmup_decisions,
+        )
+
+    def run_metrics(self) -> RunMetrics:
+        """The picklable derived-metrics residue of this run."""
+        return extract_run_metrics(self.metrics)
+
+    # ------------------------------------------------------------------
+    # Safety / liveness helpers
+    # ------------------------------------------------------------------
+    @property
+    def honest_replicas(self) -> list[Replica]:
+        """Replicas that were never corrupted."""
+        return [r for pid, r in sorted(self.replicas.items()) if pid in self.corruption.honest_ids]
+
+    def ledgers_are_consistent(self) -> bool:
+        """Safety: honest ledgers are pairwise prefix-consistent."""
+        return ledgers_consistent([replica.ledger for replica in self.honest_replicas])
+
+    def honest_decisions(self) -> int:
+        """Number of QCs produced by honest leaders during the run."""
+        return len(self.metrics.honest_decisions())
+
+    def committed_blocks(self) -> int:
+        """Length of the longest honest ledger."""
+        lengths = [len(replica.ledger) for replica in self.honest_replicas]
+        return max(lengths) if lengths else 0
+
+    def max_honest_view(self) -> int:
+        """The highest view any honest replica entered."""
+        views = [self.metrics.max_view_entered(r.pid) for r in self.honest_replicas]
+        return max(views) if views else -1
+
+    def describe(self) -> str:
+        """One-line run description for reports."""
+        mode = "virtual" if self.runtime.virtual else "wall"
+        return (
+            f"live[{mode}] {self.config.pacemaker} n={self.config.n} "
+            f"decisions={self.honest_decisions()} commits={self.committed_blocks()} "
+            f"consistent={self.ledgers_are_consistent()}"
+        )
+
+
+# ----------------------------------------------------------------------
+# In-memory cluster (LocalTransport, one runtime)
+# ----------------------------------------------------------------------
+def build_live_scenario(
+    config: ScenarioConfig,
+    jitter: float = 0.0,
+    clock: Optional[Clock] = None,
+    transport: Optional[LocalTransport] = None,
+) -> LiveRunResult:
+    """Construct an in-memory live cluster for ``config`` without running it.
+
+    The transport's base delay defaults to ``config.actual_delay`` and its
+    jitter RNG to ``config.seed`` — so a zero-jitter build is the live
+    twin of the simulated ``FixedDelay(actual_delay)`` scenario.
+    """
+    (
+        protocol_config,
+        crypto_backend,
+        corruption,
+        metrics,
+        pki,
+        signing_keys,
+        scheme,
+        trace,
+    ) = _build_protocol_stack(config)
+    if transport is None:
+        transport = LocalTransport(delay=config.actual_delay, jitter=jitter, seed=config.seed)
+    runtime = AsyncioRuntime(transport, clock=clock, trace=trace, seed=config.seed)
+    metrics.attach_transport(transport)
+    ctx = RuntimeContext(runtime=runtime, trace=trace)
+    replicas = {
+        pid: _make_replica(
+            pid, ctx, config, protocol_config, pki, signing_keys, scheme, metrics, corruption
+        )
+        for pid in protocol_config.processor_ids
+    }
+    return LiveRunResult(
+        config=config,
+        protocol_config=protocol_config,
+        metrics=metrics,
+        trace=trace,
+        replicas=replicas,
+        corruption=corruption,
+        runtime=runtime,
+        transport=transport,
+        crypto_backend=crypto_backend,
+    )
+
+
+async def run_live_scenario_async(
+    config: ScenarioConfig,
+    jitter: float = 0.0,
+    clock: Optional[Clock] = None,
+    max_events: Optional[int] = None,
+    stop_when: Optional[Callable[[LiveRunResult], bool]] = None,
+) -> LiveRunResult:
+    """Build and run an in-memory live cluster to ``config.duration``.
+
+    ``duration`` is virtual seconds under the default
+    :class:`VirtualClock` and wall seconds under a
+    :class:`MonotonicClock`; ``stop_when`` (called with the result between
+    events) ends the run early either way.
+    """
+    result = build_live_scenario(config, jitter=jitter, clock=clock)
+    _start_replicas(result.replicas, wall=not result.runtime.virtual)
+    predicate = None if stop_when is None else (lambda: stop_when(result))
+    await result.runtime.run(
+        until=config.duration, max_events=max_events, stop_when=predicate
+    )
+    if not result.runtime.virtual:
+        await result.runtime.stop()
+    return result
+
+
+def run_live_scenario(
+    config: ScenarioConfig,
+    jitter: float = 0.0,
+    clock: Optional[Clock] = None,
+    max_events: Optional[int] = None,
+    stop_when: Optional[Callable[[LiveRunResult], bool]] = None,
+) -> LiveRunResult:
+    """Blocking wrapper over :func:`run_live_scenario_async` (owns the loop)."""
+    return asyncio.run(
+        run_live_scenario_async(
+            config, jitter=jitter, clock=clock, max_events=max_events,
+            stop_when=stop_when,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# TCP cluster (one TcpTransport + runtime per node, shared wall clock)
+# ----------------------------------------------------------------------
+@dataclass
+class TcpNode:
+    """One node of a :class:`TcpCluster`."""
+
+    pid: int
+    transport: TcpTransport
+    runtime: AsyncioRuntime
+    replica: Replica
+
+
+class TcpCluster:
+    """An n-replica Lumiere cluster over real TCP sockets on localhost.
+
+    Bootstrap dance (all inside one event loop, see :meth:`start`):
+    servers are bound first on ephemeral ports, the resulting address map
+    is installed on every node, then runtimes and replicas are built and
+    started.  All nodes share one :class:`MonotonicClock`, so ledger commit
+    times and metrics live on a single timeline.
+
+    Parameters
+    ----------
+    config:
+        The scenario to run; ``n``, ``pacemaker``, ``delta``, ``seed`` and
+        ``crypto_backend`` are honoured (``actual_delay`` is real network
+        latency now, so it is ignored).
+    host:
+        Listen address for every node (default localhost).
+    """
+
+    def __init__(self, config: ScenarioConfig, host: str = "127.0.0.1") -> None:
+        self.config = config
+        self.host = host
+        self.clock = MonotonicClock()
+        self.nodes: dict[int, TcpNode] = {}
+        self.metrics = MetricsCollector()
+        self._started = False
+        self._stack: Optional[tuple] = None
+
+    async def start(self) -> None:
+        """Bind servers, exchange addresses, build and start all replicas."""
+        if self._started:
+            return
+        stack = _build_protocol_stack(self.config)
+        (
+            protocol_config,
+            crypto_backend,
+            corruption,
+            metrics,
+            pki,
+            signing_keys,
+            scheme,
+            trace,
+        ) = stack
+        self._stack = stack
+        self.metrics = metrics
+        transports = {
+            pid: TcpTransport(pid, host=self.host) for pid in protocol_config.processor_ids
+        }
+        addresses = {}
+        for pid, transport in transports.items():
+            addresses[pid] = await transport.start_server()
+        for transport in transports.values():
+            transport.set_peers(addresses)
+        replicas: dict[int, Replica] = {}
+        for pid, transport in transports.items():
+            runtime = AsyncioRuntime(
+                transport, clock=self.clock, trace=trace, seed=self.config.seed + pid
+            )
+            metrics.attach_transport(transport)
+            ctx = RuntimeContext(runtime=runtime, trace=trace)
+            replica = _make_replica(
+                pid, ctx, self.config, protocol_config, pki, signing_keys, scheme,
+                metrics, corruption,
+            )
+            replicas[pid] = replica
+            self.nodes[pid] = TcpNode(pid, transport, runtime, replica)
+        for node in self.nodes.values():
+            await node.transport.start()
+        _start_replicas(replicas, wall=True)
+        self._started = True
+
+    @property
+    def replicas(self) -> dict[int, Replica]:
+        """All replicas by pid."""
+        return {pid: node.replica for pid, node in self.nodes.items()}
+
+    def min_committed(self) -> int:
+        """Length of the shortest ledger across the cluster."""
+        if not self.nodes:
+            return 0
+        return min(len(node.replica.ledger) for node in self.nodes.values())
+
+    def ledgers_are_consistent(self) -> bool:
+        """Safety: all ledgers are pairwise prefix-consistent."""
+        return ledgers_consistent([node.replica.ledger for node in self.nodes.values()])
+
+    async def run(
+        self,
+        duration: float,
+        stop_when: Optional[Callable[["TcpCluster"], bool]] = None,
+        poll: float = 0.02,
+    ) -> None:
+        """Run all nodes concurrently for ``duration`` wall seconds (or until
+        ``stop_when(cluster)`` turns true)."""
+        await self.start()
+        predicate = None if stop_when is None else (lambda: stop_when(self))
+        await asyncio.gather(
+            *(
+                node.runtime.run(until=duration, stop_when=predicate, poll=poll)
+                for node in self.nodes.values()
+            )
+        )
+
+    async def stop(self) -> None:
+        """Shut every node down (concurrently, so EOFs propagate cleanly)."""
+        await asyncio.gather(*(node.runtime.stop() for node in self.nodes.values()))
+
+    async def run_until_commits(
+        self, blocks: int, timeout: float
+    ) -> int:
+        """Run until every ledger holds ``blocks`` commits (or ``timeout`` wall
+        seconds); returns the final minimum ledger length."""
+        await self.run(timeout, stop_when=lambda c: c.min_committed() >= blocks)
+        return self.min_committed()
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: the "live" backend
+# ----------------------------------------------------------------------
+def execute_live_cell(
+    build: Callable[[dict[str, Any]], ScenarioConfig],
+    params: dict[str, Any],
+    run_id: str,
+    key: str,
+    max_events: Optional[int] = None,
+    config: Optional[ScenarioConfig] = None,
+    jitter: float = 0.0,
+) -> RunRecord:
+    """Run one campaign cell on the asyncio runtime (virtual clock).
+
+    The live twin of :func:`repro.runner.executor.execute_cell`: same
+    picklable :class:`RunRecord` shape, with ``events_processed`` counted
+    by the runtime.  ``key`` arrives already salted by the campaign layer
+    (``live:`` prefix) so cached live records never shadow simulated ones.
+    """
+    if config is None:
+        config = build(params)
+    started = time.perf_counter()
+    result = run_live_scenario(config, jitter=jitter, max_events=max_events)
+    wall_time = time.perf_counter() - started
+    return RunRecord(
+        run_id=run_id,
+        key=key,
+        params=params,
+        summary=result.summary(),
+        metrics=result.run_metrics(),
+        committed_blocks=result.committed_blocks(),
+        max_honest_view=result.max_honest_view(),
+        ledgers_consistent=result.ledgers_are_consistent(),
+        events_processed=result.runtime.events_processed,
+        wall_time=wall_time,
+    )
+
+
+@dataclass
+class LiveExecutor:
+    """Callable cell executor for the ``"live"`` campaign backend.
+
+    Campaigns use a default instance; construct one explicitly to sweep the
+    same grid under transport jitter::
+
+        run_campaign(campaign, backend="live", live_executor=LiveExecutor(jitter=0.05))
+    """
+
+    #: Uniform jitter band added to every cell's transport latency.
+    jitter: float = 0.0
+
+    @property
+    def cache_salt(self) -> str:
+        """Cache-key prefix binding everything this executor changes about a run.
+
+        ``live:`` alone for the canonical zero-jitter executor; the jitter
+        value is folded in otherwise, so records produced under different
+        latency noise never answer for each other from a shared cache.
+        """
+        if self.jitter == 0.0:
+            return "live:"
+        return f"live[jitter={self.jitter!r}]:"
+
+    def __call__(
+        self,
+        build: Callable[[dict[str, Any]], ScenarioConfig],
+        params: dict[str, Any],
+        run_id: str,
+        key: str,
+        max_events: Optional[int] = None,
+        config: Optional[ScenarioConfig] = None,
+    ) -> RunRecord:
+        return execute_live_cell(
+            build, params, run_id, key, max_events=max_events, config=config,
+            jitter=self.jitter,
+        )

@@ -1,0 +1,45 @@
+"""Pluggable runtimes: the seam between the protocol core and its world.
+
+The consensus engine, the replicas and all eight pacemakers talk only to
+the :class:`~repro.runtime.base.Runtime` interface — ``send`` /
+``broadcast``, ``now``, ``set_timer`` / ``set_timer_at``, ``spawn`` — so
+the *same* protocol objects execute
+
+* under the discrete-event simulator
+  (:class:`~repro.runtime.simulation.SimRuntime`, a pass-through adapter
+  with byte-for-byte identical event ordering),
+* on an asyncio loop in-memory
+  (:class:`~repro.runtime.asyncio_runtime.AsyncioRuntime` +
+  :class:`~repro.runtime.transports.LocalTransport`, deterministic when
+  seeded under a :class:`~repro.runtime.asyncio_runtime.VirtualClock`), or
+* over real TCP sockets (:class:`~repro.runtime.tcp.TcpTransport`,
+  length-prefixed JSON frames).
+
+See ``docs/runtimes.md`` for the interface contract and a
+writing-a-transport guide.
+"""
+
+from repro.runtime.base import Clock, Runtime, RuntimeContext, TimerHandle
+from repro.runtime.simulation import SimRuntime
+from repro.runtime.asyncio_runtime import AsyncioRuntime, MonotonicClock, VirtualClock
+from repro.runtime.transports import LocalTransport, Transport, TransportEnvelope
+from repro.runtime.codec import WireCodec, WireCodecError, default_codec
+from repro.runtime.tcp import TcpTransport
+
+__all__ = [
+    "AsyncioRuntime",
+    "Clock",
+    "LocalTransport",
+    "MonotonicClock",
+    "Runtime",
+    "RuntimeContext",
+    "SimRuntime",
+    "TcpTransport",
+    "TimerHandle",
+    "Transport",
+    "TransportEnvelope",
+    "VirtualClock",
+    "WireCodec",
+    "WireCodecError",
+    "default_codec",
+]

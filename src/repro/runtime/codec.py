@@ -1,0 +1,234 @@
+"""Wire codec: protocol payloads <-> length-prefixed JSON frames.
+
+Every wire message in the library is a frozen dataclass tree over a small
+closed vocabulary of value shapes — primitives, tuples, frozensets and
+nested registered dataclasses — so the codec is a structural walk, not
+pickle: only classes explicitly registered (or auto-registered from the
+message modules) can cross a socket, and a frame naming an unknown class is
+rejected.  Tuples and frozensets survive the round trip as themselves
+(JSON has neither), which matters because block payloads are tuples and
+threshold-signature signer sets are frozensets whose cached hash the
+verification fast path relies on.
+
+Frames are ``4-byte big-endian length || JSON body``; the body is
+``{"s": sender_pid, "p": packed_payload}``.  JSON rather than msgpack keeps
+the container dependency-free; the framing and the codec seam are the
+msgpack-ready part (swap :meth:`WireCodec.dumps` / :meth:`WireCodec.loads`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable, Optional
+
+from repro.errors import ConfigurationError
+
+#: Frame length prefix: 4 bytes, big-endian, body length only.
+LENGTH_PREFIX_BYTES = 4
+
+#: Upper bound on a single frame body (64 MiB); a peer announcing more is
+#: malformed or hostile and the connection is dropped instead of buffering.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_TUPLE = "__tuple__"
+_FROZENSET = "__frozenset__"
+_DICT = "__dict__"
+_CLASS = "__class__"
+
+
+class WireCodecError(ConfigurationError):
+    """A payload (or frame) could not be encoded or decoded."""
+
+
+class WireCodec:
+    """Encode/decode registered dataclass trees as JSON frames."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, type] = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, cls: type) -> type:
+        """Allow ``cls`` (a dataclass) on the wire.  Returns ``cls`` (decorator-friendly).
+
+        Names must be unique: two registered classes may not share a
+        ``__name__`` even across modules, because the wire format carries
+        the bare class name.
+        """
+        if not dataclasses.is_dataclass(cls):
+            raise WireCodecError(f"{cls!r} is not a dataclass; cannot register")
+        existing = self._by_name.get(cls.__name__)
+        if existing is not None and existing is not cls:
+            raise WireCodecError(
+                f"wire name {cls.__name__!r} already registered for {existing!r}"
+            )
+        self._by_name[cls.__name__] = cls
+        return cls
+
+    def register_all(self, classes: Iterable[type]) -> None:
+        """Register every class in ``classes``."""
+        for cls in classes:
+            self.register(cls)
+
+    @property
+    def registered_names(self) -> list[str]:
+        """Sorted wire names of all registered classes."""
+        return sorted(self._by_name)
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+    def encode_frame(self, sender: int, payload: Any) -> bytes:
+        """One wire frame: length prefix plus the JSON body."""
+        body = self.dumps({"s": sender, "p": self.pack(payload)})
+        if len(body) > MAX_FRAME_BYTES:
+            raise WireCodecError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+        return len(body).to_bytes(LENGTH_PREFIX_BYTES, "big") + body
+
+    def decode_body(self, body: bytes) -> tuple[int, Any]:
+        """Decode a frame body (without prefix) into ``(sender, payload)``."""
+        try:
+            data = self.loads(body)
+            sender = data["s"]
+            payload = self.unpack(data["p"])
+        except WireCodecError:
+            raise
+        except Exception as exc:
+            raise WireCodecError(f"malformed frame body: {exc}") from exc
+        if not isinstance(sender, int):
+            raise WireCodecError(f"frame sender must be an int, got {sender!r}")
+        return sender, payload
+
+    def dumps(self, data: Any) -> bytes:
+        """Serialize a packed structure (the msgpack-swappable seam)."""
+        return json.dumps(data, separators=(",", ":")).encode("utf-8")
+
+    def loads(self, body: bytes) -> Any:
+        """Deserialize a frame body (the msgpack-swappable seam)."""
+        return json.loads(body.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Structural packing
+    # ------------------------------------------------------------------
+    def pack(self, value: Any) -> Any:
+        """Registered-dataclass tree -> JSON-safe structure."""
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, tuple):
+            return {_TUPLE: [self.pack(item) for item in value]}
+        if isinstance(value, list):
+            return [self.pack(item) for item in value]
+        if isinstance(value, frozenset):
+            # Sorted where possible so identical sets encode identically.
+            try:
+                items = sorted(value)
+            except TypeError:
+                items = list(value)
+            return {_FROZENSET: [self.pack(item) for item in items]}
+        if isinstance(value, dict):
+            return {_DICT: [[self.pack(k), self.pack(v)] for k, v in value.items()]}
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            name = type(value).__name__
+            if self._by_name.get(name) is not type(value):
+                raise WireCodecError(
+                    f"{type(value)!r} is not registered with this codec; "
+                    "register it before sending it over a wire transport"
+                )
+            fields = {
+                field.name: self.pack(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            }
+            return {_CLASS: name, "f": fields}
+        raise WireCodecError(f"cannot encode value of type {type(value)!r} for the wire")
+
+    def unpack(self, data: Any) -> Any:
+        """JSON-safe structure -> registered-dataclass tree."""
+        if data is None or isinstance(data, (bool, int, float, str)):
+            return data
+        if isinstance(data, list):
+            return [self.unpack(item) for item in data]
+        if isinstance(data, dict):
+            if _TUPLE in data:
+                return tuple(self.unpack(item) for item in data[_TUPLE])
+            if _FROZENSET in data:
+                return frozenset(self.unpack(item) for item in data[_FROZENSET])
+            if _DICT in data:
+                return {self.unpack(k): self.unpack(v) for k, v in data[_DICT]}
+            if _CLASS in data:
+                cls = self._by_name.get(data[_CLASS])
+                if cls is None:
+                    raise WireCodecError(f"unknown wire class {data[_CLASS]!r}")
+                fields = {name: self.unpack(value) for name, value in data["f"].items()}
+                return cls(**fields)
+        raise WireCodecError(f"malformed wire structure: {data!r}")
+
+
+def _message_subclasses(base: type) -> set[type]:
+    """``base`` and every (transitive) subclass that is a live dataclass.
+
+    ``@dataclass(slots=True)`` replaces the decorated class with a new one,
+    leaving the original (slots-less) class in ``__subclasses__`` forever;
+    only the class currently bound to its name in its defining module is
+    the real wire type, so phantoms are filtered out here.
+    """
+    import sys
+
+    found: set[type] = set()
+    pending = [base]
+    while pending:
+        cls = pending.pop()
+        if cls in found:
+            continue
+        found.add(cls)
+        pending.extend(cls.__subclasses__())
+    return {
+        cls
+        for cls in found
+        if dataclasses.is_dataclass(cls)
+        and getattr(sys.modules.get(cls.__module__), cls.__name__, None) is cls
+    }
+
+
+_default: Optional[WireCodec] = None
+
+
+def default_codec() -> WireCodec:
+    """The shared codec knowing every message type the library defines.
+
+    Imports the consensus and pacemaker message modules (so their
+    dataclasses exist), then registers every dataclass reachable from the
+    two message roots plus the crypto/block value types they embed.  Built
+    once per process; custom protocols with their own wire messages should
+    build a :class:`WireCodec` and register on top (``default_codec()``
+    returns the shared instance, so registering on it works too).
+    """
+    global _default
+    if _default is not None:
+        return _default
+
+    # The message modules: importing them defines every wire dataclass.
+    import repro.consensus.messages  # noqa: F401
+    import repro.core.messages  # noqa: F401
+    import repro.pacemakers.backoff  # noqa: F401
+    import repro.pacemakers.cogsworth  # noqa: F401
+    import repro.pacemakers.fever  # noqa: F401
+    import repro.pacemakers.lp22  # noqa: F401
+    import repro.pacemakers.naor_keidar  # noqa: F401
+    import repro.pacemakers.raresync  # noqa: F401
+    from repro.consensus.blocks import Block
+    from repro.consensus.messages import ConsensusMessage
+    from repro.consensus.quorum import QuorumCertificate
+    from repro.crypto.signatures import Signature
+    from repro.crypto.threshold import PartialSignature, ThresholdSignature
+    from repro.pacemakers.base import PacemakerMessage
+
+    codec = WireCodec()
+    codec.register_all(
+        [Block, QuorumCertificate, Signature, PartialSignature, ThresholdSignature]
+    )
+    for base in (ConsensusMessage, PacemakerMessage):
+        codec.register_all(sorted(_message_subclasses(base), key=lambda c: c.__name__))
+    _default = codec
+    return codec

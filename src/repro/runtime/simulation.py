@@ -1,0 +1,92 @@
+"""``SimRuntime``: the discrete-event simulator behind the runtime seam.
+
+The adapter is deliberately nothing but pass-throughs: ``set_timer`` *is*
+:meth:`~repro.sim.events.Simulator.schedule`, ``send`` *is*
+:meth:`~repro.sim.network.Network.send`, and so on.  A protocol refactored
+onto the :class:`~repro.runtime.base.Runtime` interface therefore issues the
+exact same simulator and network calls, in the same order, as the
+pre-runtime code did — the event heap sees identical ``(time, seq)``
+entries, so traces, metrics and decisions are byte-for-byte unchanged (the
+``tests/test_batched_delivery.py`` equivalence suite and the committed
+``benchmarks/BASELINE_smoke.json`` decision counts both guard this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.runtime.base import Runtime, TimerHandle
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from repro.sim.events import Simulator
+    from repro.sim.network import Network
+    from repro.sim.tracing import TraceRecorder
+
+
+class SimRuntime(Runtime):
+    """Adapter presenting a :class:`Simulator` + :class:`Network` as a :class:`Runtime`.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator providing time and timers.
+    network:
+        The partial-synchrony network providing message delivery.
+    trace:
+        Optional trace recorder, exposed as :attr:`trace` by convention.
+    """
+
+    __slots__ = ("sim", "network", "trace", "rng")
+
+    def __init__(self, sim: "Simulator", network: "Network", trace: "TraceRecorder" = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.trace = trace
+        self.rng = sim.rng
+
+    # ------------------------------------------------------------------
+    # Time and timers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    def set_timer(
+        self, delay: float, callback: Callable[..., None], *args: Any, label: str = ""
+    ) -> TimerHandle:
+        """Schedule via the simulator's cancellable lane."""
+        return self.sim.schedule(delay, callback, *args, label=label)
+
+    def set_timer_at(
+        self, time: float, callback: Callable[..., None], *args: Any, label: str = ""
+    ) -> TimerHandle:
+        """Schedule at absolute virtual time via the simulator's cancellable lane."""
+        return self.sim.schedule_at(time, callback, *args, label=label)
+
+    def call_after(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget lane: no handle allocation (``schedule_fired``)."""
+        self.sim.schedule_fired(delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Messaging and registration
+    # ------------------------------------------------------------------
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        """Point-to-point send through the simulated network."""
+        self.network.send(sender, recipient, payload)
+
+    def broadcast(self, sender: int, payload: Any) -> None:
+        """Broadcast (including self) through the simulated network."""
+        self.network.broadcast(sender, payload)
+
+    def register(self, process: Any) -> None:
+        """Register the process as a network endpoint."""
+        self.network.register(process)
+
+    @property
+    def process_ids(self) -> Sequence[int]:
+        """Sorted ids of all registered processes."""
+        return self.network.process_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimRuntime(now={self.sim.now:.3f}, n={len(self.process_ids)})"

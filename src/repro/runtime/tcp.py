@@ -1,0 +1,300 @@
+"""``TcpTransport``: one cluster node speaking length-prefixed frames over TCP.
+
+Pyre-style seam: the replica's only I/O surface is ``send``/``broadcast``,
+and everything network-shaped — servers, connections, framing, reconnects —
+lives here.  Each node runs
+
+* one ``asyncio`` **server** accepting inbound peer connections, whose
+  reader coroutines decode frames onto the node's inbox,
+* one lazily started **writer task per peer**, owning an outbound queue and
+  the (re)connect loop, so ``send`` never blocks the protocol callback that
+  called it, and
+* one **pump task** — *the replica's task* — draining the inbox and feeding
+  ``process.deliver`` one message at a time, which serialises the replica's
+  protocol callbacks exactly like the simulator does.
+
+Frames are ``4-byte big-endian length || JSON body`` (see
+:mod:`repro.runtime.codec`).  Ports may be ephemeral: start the server
+first (:meth:`TcpTransport.start_server`), read the bound
+:attr:`TcpTransport.address`, then exchange the address map via
+:meth:`TcpTransport.set_peers` — ``examples/live_cluster.py`` and
+:class:`~repro.runner.live.TcpCluster` do exactly this dance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runtime.codec import (
+    LENGTH_PREFIX_BYTES,
+    MAX_FRAME_BYTES,
+    WireCodec,
+    WireCodecError,
+    default_codec,
+)
+from repro.runtime.transports import Transport, TransportEnvelope
+
+
+class TcpTransport(Transport):
+    """TCP message fabric for a single node of a live cluster.
+
+    Parameters
+    ----------
+    pid:
+        The processor id of the (single) local process this node hosts.
+    host, port:
+        Listen address.  ``port=0`` binds an ephemeral port; read
+        :attr:`address` after :meth:`start_server`.
+    codec:
+        Wire codec; defaults to :func:`~repro.runtime.codec.default_codec`
+        (every message type the library defines).
+    connect_timeout:
+        How long a writer keeps retrying each (re)connect window to a peer
+        before giving up (covers the all-nodes-starting-at-once race and
+        peer restarts).  A writer that exhausts the window dies — at most
+        one in-flight frame is dropped — and is respawned by the next
+        ``send`` to that peer, so an outage longer than the window delays
+        traffic rather than partitioning the node permanently.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Optional[WireCodec] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        super().__init__()
+        self.pid = pid
+        self.host = host
+        self.port = port
+        self.codec = codec if codec is not None else default_codec()
+        self.connect_timeout = connect_timeout
+        self._peers: dict[int, tuple[str, int]] = {}
+        self._process: Any = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inbox: Optional[asyncio.Queue] = None
+        self._outboxes: dict[int, asyncio.Queue] = {}
+        self._writers: dict[int, asyncio.Task] = {}
+        self._pump_task: Optional[asyncio.Task] = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._connections: dict[int, asyncio.StreamWriter] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def register(self, process: Any) -> None:
+        """Attach the node's local process (exactly one per transport)."""
+        if process.pid != self.pid:
+            raise ConfigurationError(
+                f"TcpTransport for pid {self.pid} cannot host process {process.pid}; "
+                "one transport per node"
+            )
+        if self._process is not None:
+            raise SimulationError(f"process id {self.pid} registered twice")
+        self._process = process
+
+    def set_peers(self, peers: Mapping[int, tuple[str, int]]) -> None:
+        """Install the full ``pid -> (host, port)`` map (own entry ignored)."""
+        self._peers = {pid: tuple(addr) for pid, addr in peers.items() if pid != self.pid}
+
+    @property
+    def process_ids(self) -> Sequence[int]:
+        """Sorted ids of the whole cluster (self plus peers)."""
+        return sorted({self.pid, *self._peers})
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound listen address (resolves ``port=0``)."""
+        if self._server is None:
+            return (self.host, self.port)
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return (host, port)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start_server(self) -> tuple[str, int]:
+        """Bind and start the inbound server; returns the bound address."""
+        if self._server is None:
+            self._inbox = asyncio.Queue()
+            self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        return self.address
+
+    async def start(self) -> None:
+        """Start the server (if needed) and the replica's pump task."""
+        await self.start_server()
+        if self._pump_task is None:
+            self._pump_task = asyncio.create_task(
+                self._pump(), name=f"tcp-pump-{self.pid}"
+            )
+
+    async def stop(self) -> None:
+        """Tear the node down: own tasks cancelled, peers signalled via EOF.
+
+        Reader tasks (owned by asyncio's stream server) are *not* cancelled
+        directly — cancelling a client-handler task trips asyncio's
+        ``connection_made`` done-callback into re-raising the cancellation.
+        Closing the outbound connections instead EOFs the peers' readers
+        (and theirs ours, when every node stops), which is the clean exit
+        path ``_on_connection`` already handles; stragglers are cancelled
+        only after a grace wait.
+        """
+        own = [self._pump_task, *self._writers.values()]
+        for task in own:
+            if task is not None:
+                task.cancel()
+        for task in own:
+            if task is not None:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                    pass
+        self._pump_task = None
+        self._writers.clear()
+        for writer in self._connections.values():
+            writer.close()
+        self._connections.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._reader_tasks:
+            _, pending = await asyncio.wait(list(self._reader_tasks), timeout=0.5)
+            for task in pending:
+                task.cancel()
+        self._reader_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        """Deliver locally (immediate) or frame and queue for a peer."""
+        now = self.runtime.now
+        if recipient == self.pid:
+            envelope = self._mint(sender, recipient, payload, now)
+            if self._process is None:
+                return
+            self.runtime.call_after(0.0, self._delivered, envelope, self._process)
+            return
+        if recipient not in self._peers:
+            raise SimulationError(f"unknown recipient {recipient}")
+        envelope = self._mint(sender, recipient, payload, now)
+        frame = self.codec.encode_frame(sender, payload)
+        outbox = self._outboxes.get(recipient)
+        if outbox is None:
+            outbox = self._outboxes[recipient] = asyncio.Queue()
+        outbox.put_nowait(frame)
+        # Spawn the peer's writer task lazily — and respawn it if a previous
+        # incarnation died (a peer down for longer than connect_timeout kills
+        # its writer; the next send retries rather than leaving the node
+        # silently partitioned from a peer that has since recovered).
+        writer_task = self._writers.get(recipient)
+        if writer_task is None or writer_task.done():
+            self._writers[recipient] = asyncio.create_task(
+                self._writer(recipient), name=f"tcp-writer-{self.pid}->{recipient}"
+            )
+
+    async def _connect(self, peer: int) -> asyncio.StreamWriter:
+        """(Re)establish the outbound connection to ``peer``, with retries.
+
+        Each (re)connection attempt window gets ``connect_timeout`` to
+        succeed — this covers both the all-nodes-starting-at-once race and
+        a peer restarting mid-run.
+        """
+        host, port = self._peers[peer]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.connect_timeout
+        while True:
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                if loop.time() >= deadline:
+                    raise
+                await asyncio.sleep(0.05)
+            else:
+                self._connections[peer] = writer
+                return writer
+
+    async def _writer(self, peer: int) -> None:
+        """Own the outbound link to ``peer``: connect, drain the queue, reconnect.
+
+        A dropped connection (peer restart, TCP reset) closes the stream,
+        keeps the unsent frame, reconnects and resends it — the node is
+        never silently partitioned from a peer that comes back.
+        """
+        outbox = self._outboxes[peer]
+        writer: Optional[asyncio.StreamWriter] = None
+        frame: Optional[bytes] = None
+        while True:
+            if writer is None:
+                writer = await self._connect(peer)
+            if frame is None:
+                frame = await outbox.get()
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                writer.close()
+                if self._connections.get(peer) is writer:
+                    del self._connections[peer]
+                writer = None  # reconnect and resend the held frame
+            else:
+                frame = None
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        try:
+            while True:
+                prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)
+                length = int.from_bytes(prefix, "big")
+                if length > MAX_FRAME_BYTES:
+                    break  # malformed or hostile peer; drop the connection
+                body = await reader.readexactly(length)
+                try:
+                    sender, payload = self.codec.decode_body(body)
+                except WireCodecError:
+                    break  # malformed or version-skewed peer; drop cleanly
+                assert self._inbox is not None
+                self._inbox.put_nowait((sender, payload))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer went away; its writer will reconnect if it returns
+        except asyncio.CancelledError:
+            # Teardown-only cancellation (see stop()); completing normally
+            # keeps asyncio's connection_made done-callback from re-raising
+            # the cancellation into the loop's exception handler.
+            pass
+        finally:
+            writer.close()
+
+    async def _pump(self) -> None:
+        """The replica's task: deliver inbox messages one at a time."""
+        assert self._inbox is not None
+        while True:
+            sender, payload = await self._inbox.get()
+            if self._process is None:
+                continue
+            envelope = TransportEnvelope(
+                next(self._msg_ids), sender, self.pid, payload,
+                self.runtime.now, self.runtime.now,
+            )
+            self.runtime.events_processed += 1
+            self._delivered(envelope, self._process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpTransport(pid={self.pid}, address={self.address}, "
+            f"peers={sorted(self._peers)}, sent={self.messages_sent})"
+        )

@@ -11,17 +11,16 @@ clock value ``lc(p)`` that
 Protocols need to react "when ``lc(p)`` reaches the clock time ``c_v`` of a
 view ``v``".  :class:`LocalClock` therefore supports scheduling callbacks at
 *local* times.  A local-time target may be reached either by real-time
-advance (in which case the underlying simulator event fires) or by a bump
+advance (in which case the underlying runtime timer fires) or by a bump
 (in which case the callback runs immediately at the bump instant).  Pausing
 suspends all pending local timers; unpausing reschedules them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import EventHandle, Simulator
 
 
 class LocalTimer:
@@ -38,7 +37,9 @@ class LocalTimer:
         self.callback = callback
         self.cancelled = False
         self.fired = False
-        self._event: Optional[EventHandle] = None
+        # Backing runtime timer (an EventHandle under simulation, an
+        # asyncio-backed handle when live); any TimerHandle works.
+        self._event: Optional[Any] = None
         self.label = label
 
     def cancel(self) -> None:
@@ -59,17 +60,22 @@ class LocalTimer:
 
 
 class LocalClock:
-    """A processor-local clock driven by simulator (virtual "real") time.
+    """A processor-local clock driven by its runtime's ("real") time.
 
-    The clock value is ``anchor_value + (sim.now - anchor_time)`` while
+    The clock value is ``anchor_value + (runtime.now - anchor_time)`` while
     running, and ``anchor_value`` while paused.  ``bump_to`` moves the value
     forward (never backwards) and re-anchors.
+
+    The time source may be anything exposing ``now`` plus a cancellable
+    timer method: a :class:`~repro.runtime.base.Runtime` (``set_timer``) or
+    a bare :class:`Simulator` (``schedule``) — the two signatures agree.
     """
 
-    def __init__(self, sim: Simulator, initial: float = 0.0) -> None:
-        self._sim = sim
+    def __init__(self, source: Any, initial: float = 0.0) -> None:
+        self._source = source
+        self._set_timer = getattr(source, "set_timer", None) or source.schedule
         self._anchor_value = initial
-        self._anchor_time = sim.now
+        self._anchor_time = source.now
         self._paused = False
         self._timers: list[LocalTimer] = []
         self.bump_count = 0
@@ -82,7 +88,7 @@ class LocalClock:
         """Current local-clock value."""
         if self._paused:
             return self._anchor_value
-        return self._anchor_value + (self._sim.now - self._anchor_time)
+        return self._anchor_value + (self._source.now - self._anchor_time)
 
     @property
     def value(self) -> float:
@@ -102,7 +108,7 @@ class LocalClock:
         if self._paused:
             return
         self._anchor_value = self.read()
-        self._anchor_time = self._sim.now
+        self._anchor_time = self._source.now
         self._paused = True
         self.pause_count += 1
         self._resync_timers()
@@ -111,7 +117,7 @@ class LocalClock:
         """Resume real-time advance from the current value.  Idempotent."""
         if not self._paused:
             return
-        self._anchor_time = self._sim.now
+        self._anchor_time = self._source.now
         self._paused = False
         self._resync_timers()
 
@@ -127,7 +133,7 @@ class LocalClock:
         if value <= current:
             return False
         self._anchor_value = value
-        self._anchor_time = self._sim.now
+        self._anchor_time = self._source.now
         self.bump_count += 1
         self._fire_reached_timers()
         self._resync_timers()
@@ -141,7 +147,7 @@ class LocalClock:
         :meth:`bump_to`.
         """
         self._anchor_value = value
-        self._anchor_time = self._sim.now
+        self._anchor_time = self._source.now
         self._fire_reached_timers()
         self._resync_timers()
 
@@ -168,7 +174,7 @@ class LocalClock:
     # Internals
     # ------------------------------------------------------------------
     def _arm(self, timer: LocalTimer) -> None:
-        """(Re)schedule the simulator event backing ``timer``, if appropriate."""
+        """(Re)schedule the runtime timer backing ``timer``, if appropriate."""
         if not timer.pending:
             return
         if timer._event is not None:
@@ -176,10 +182,10 @@ class LocalClock:
             timer._event = None
         current = self.read()
         if current >= timer.target:
-            timer._event = self._sim.schedule(0.0, self._fire, timer, label=timer.label)
+            timer._event = self._set_timer(0.0, self._fire, timer, label=timer.label)
         elif not self._paused:
             delay = timer.target - current
-            timer._event = self._sim.schedule(delay, self._fire, timer, label=timer.label)
+            timer._event = self._set_timer(delay, self._fire, timer, label=timer.label)
         # else: paused and target not reached — leave unarmed until unpause/bump.
 
     def _fire(self, timer: LocalTimer) -> None:

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, NamedTuple, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.events import Simulator
@@ -90,9 +90,14 @@ class NetworkConfig:
             )
 
 
-@dataclass(frozen=True, slots=True)
-class Envelope:
+class Envelope(NamedTuple):
     """A single point-to-point message in flight.
+
+    Tuple-backed (``NamedTuple``) rather than a frozen dataclass: one
+    envelope is allocated per delivery, and the frozen-dataclass ``__init__``
+    (one guarded ``object.__setattr__`` per field) was the single largest
+    allocation cost of the send path — tuple construction is one C call,
+    ~4x cheaper, while staying immutable with named-field access.
 
     Attributes
     ----------
@@ -200,9 +205,11 @@ class DelayModel(ABC):
         return None
 
 
-@dataclass(frozen=True, slots=True)
-class PendingSend:
+class PendingSend(NamedTuple):
     """The information a :class:`DelayModel` may base its decision on.
+
+    Tuple-backed for the same reason as :class:`Envelope`: one is built per
+    recipient on every non-constant-delay send.
 
     Attributes
     ----------
@@ -613,6 +620,8 @@ class Network:
                 constant_time = deadline
         else:
             after_gst = now >= config.gst
+            # Positional NamedTuple construction: this list is built per
+            # broadcast under every non-constant delay model.
             pending = [
                 PendingSend(sender, pid, payload, now, after_gst)
                 for pid in pids
@@ -643,13 +652,7 @@ class Network:
                 if deliver_time > deadline:
                     deliver_time = deadline
             envelope = Envelope(
-                msg_id=next(next_id),
-                sender=sender,
-                recipient=pid,
-                payload=payload,
-                send_time=now,
-                deliver_time=deliver_time,
-                payload_digest=payload_digest,
+                next(next_id), sender, pid, payload, now, deliver_time, payload_digest
             )
             self.messages_sent += 1
             for listener in listeners:
@@ -724,13 +727,7 @@ class Network:
         """
         deliver_time = self._delivery_time(sender, recipient, payload, now)
         envelope = Envelope(
-            msg_id=next(self._msg_ids),
-            sender=sender,
-            recipient=recipient,
-            payload=payload,
-            send_time=now,
-            deliver_time=deliver_time,
-            payload_digest=payload_digest,
+            next(self._msg_ids), sender, recipient, payload, now, deliver_time, payload_digest
         )
         self.messages_sent += 1
         for listener in listeners:
@@ -750,13 +747,7 @@ class Network:
         config = self.config
         raw_delay = self._constant_floored_delay
         if raw_delay is None:
-            pending = PendingSend(
-                sender=sender,
-                recipient=recipient,
-                payload=payload,
-                send_time=now,
-                after_gst=now >= config.gst,
-            )
+            pending = PendingSend(sender, recipient, payload, now, now >= config.gst)
             raw_delay = max(config.min_delay, self.delay_model.propose_delay(pending, self.sim))
         deadline = max(config.gst, now) + config.delta
         return min(now + raw_delay, deadline)

@@ -1,9 +1,17 @@
-"""Process abstraction: the unit the simulator schedules and the network addresses.
+"""Process abstraction: the unit a runtime schedules and the transport addresses.
 
 A :class:`Process` owns a :class:`~repro.sim.clock.LocalClock` and receives
-messages from the :class:`~repro.sim.network.Network`.  Protocol replicas
+messages from its :class:`~repro.runtime.base.Runtime`.  Protocol replicas
 (see :mod:`repro.consensus.replica`) derive from it, as do purpose-built
 Byzantine processes in :mod:`repro.adversary`.
+
+A process is constructed over a *context* exposing ``runtime`` and
+``trace``: either a :class:`SimContext` (simulator + network, the
+discrete-event world) or a :class:`~repro.runtime.base.RuntimeContext`
+(any other runtime, e.g. asyncio).  All messaging, timing and scheduling
+flows through :attr:`Process.runtime`; the :attr:`sim` / :attr:`network`
+accessors exist only for simulation-side tooling and raise when the
+process runs on a non-simulated runtime.
 """
 
 from __future__ import annotations
@@ -19,7 +27,12 @@ from repro.sim.tracing import TraceRecorder
 
 @dataclass
 class SimContext:
-    """Shared handles a process needs: simulator, network and (optional) trace."""
+    """Shared handles of a simulated run: simulator, network and (optional) trace.
+
+    Exposes :attr:`runtime` — a lazily built, cached
+    :class:`~repro.runtime.simulation.SimRuntime` over the same simulator
+    and network — which is what processes actually talk to.
+    """
 
     sim: Simulator
     network: Network
@@ -30,39 +43,53 @@ class SimContext:
         """Current virtual time."""
         return self.sim.now
 
+    @property
+    def runtime(self):
+        """The (cached) :class:`~repro.runtime.simulation.SimRuntime` adapter."""
+        runtime = self.__dict__.get("_runtime")
+        if runtime is None:
+            # Local import: repro.runtime is a sibling package layered above
+            # repro.sim; importing it lazily keeps sim importable alone.
+            from repro.runtime.simulation import SimRuntime
+
+            runtime = SimRuntime(self.sim, self.network, trace=self.trace)
+            self.__dict__["_runtime"] = runtime
+        return runtime
+
 
 class Process:
-    """Base class for all simulated processors.
+    """Base class for all protocol processors, runtime-agnostic.
 
     Subclasses implement :meth:`on_message` (and usually :meth:`start`).
     A process that has crashed stops receiving messages and sending anything.
     """
 
-    def __init__(self, pid: int, ctx: SimContext) -> None:
+    def __init__(self, pid: int, ctx: Any) -> None:
         self.pid = pid
         self.ctx = ctx
-        self.clock = LocalClock(ctx.sim)
+        self.runtime = ctx.runtime
+        self.clock = LocalClock(self.runtime)
         self.crashed = False
         self.byzantine = False
-        ctx.network.register(self)
+        self.runtime.register(self)
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
     def sim(self) -> Simulator:
-        """The simulator this process runs in."""
+        """The simulator this process runs in (simulated contexts only)."""
         return self.ctx.sim
 
     @property
     def network(self) -> Network:
-        """The network this process is attached to."""
+        """The network this process is attached to (simulated contexts only)."""
         return self.ctx.network
 
     @property
     def now(self) -> float:
-        """Current virtual time."""
-        return self.ctx.sim.now
+        """Current runtime time (virtual under simulation, wall-clock when live)."""
+        return self.runtime.now
 
     @property
     def local_time(self) -> float:
@@ -73,7 +100,7 @@ class Process:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Called once when the simulation begins.  Default: no-op."""
+        """Called once when the run begins.  Default: no-op."""
 
     def crash(self) -> None:
         """Stop the process: it will neither send nor react to messages."""
@@ -87,8 +114,7 @@ class Process:
         timers armed before the crash were never cancelled, so the process
         rejoins exactly where a real restarted replica with persisted state
         would — alive, but having missed every message sent while it was down
-        (the network drops deliveries to crashed processes, it never queues
-        them).
+        (delivery to crashed processes is dropped, never queued).
         """
         if not self.crashed:
             return
@@ -102,16 +128,16 @@ class Process:
         """Send ``payload`` to ``recipient`` unless crashed."""
         if self.crashed:
             return
-        self.network.send(self.pid, recipient, payload)
+        self.runtime.send(self.pid, recipient, payload)
 
     def broadcast(self, payload: Any) -> None:
         """Send ``payload`` to every processor, including self, unless crashed."""
         if self.crashed:
             return
-        self.network.broadcast(self.pid, payload)
+        self.runtime.broadcast(self.pid, payload)
 
     def deliver(self, payload: Any, sender: int) -> None:
-        """Entry point used by the network; dispatches to :meth:`on_message`."""
+        """Entry point used by the runtime; dispatches to :meth:`on_message`."""
         if self.crashed:
             return
         self.on_message(payload, sender)

@@ -1,0 +1,201 @@
+"""Live-runtime integration tests: sim equivalence, determinism, TCP smoke.
+
+The headline property (ISSUE 5 acceptance): the asyncio runtime with a
+seeded zero-jitter ``LocalTransport`` reaches exactly the same decisions
+and ledgers as the discrete-event simulator for the same scenario, across
+multiple seeds — the protocol core genuinely does not know which runtime
+it is on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.adversary.attacks import spread_corruption
+from repro.adversary.behaviours import SilentLeaderBehaviour
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.runner import (
+    Campaign,
+    LiveExecutor,
+    Sweep,
+    TcpCluster,
+    run_live_scenario,
+)
+from repro.runtime import MonotonicClock
+from repro.sim.network import FixedDelay
+
+
+def _scenario(seed: int, **overrides) -> ScenarioConfig:
+    defaults = dict(
+        n=4,
+        pacemaker="lumiere",
+        delta=1.0,
+        actual_delay=0.1,
+        gst=0.0,
+        duration=30.0,
+        seed=seed,
+        record_trace=False,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def _decisions(metrics):
+    return [(d.view, d.leader) for d in metrics.decisions]
+
+
+def _ledgers(replicas):
+    return {pid: replica.ledger.block_ids for pid, replica in replicas.items()}
+
+
+# ----------------------------------------------------------------------
+# Equivalence: AsyncioRuntime + seeded LocalTransport == SimRuntime
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_local_transport_reproduces_simulator_exactly(seed):
+    config = _scenario(seed)
+    sim = run_scenario(config)
+    live = run_live_scenario(config)  # zero jitter, virtual clock
+
+    assert _decisions(live.metrics) == _decisions(sim.metrics)
+    assert _ledgers(live.replicas) == _ledgers(sim.replicas)
+    assert live.committed_blocks() == sim.committed_blocks() > 0
+    assert live.ledgers_are_consistent()
+    # The wire accounting agrees too: same sends, same deliveries.
+    assert live.transport.messages_sent == sim.network.messages_sent
+    assert live.transport.messages_delivered == sim.network.messages_delivered
+
+
+def test_equivalence_holds_under_faults():
+    config = _scenario(3)
+    config.corruption = spread_corruption(
+        config.protocol_config(), 1, SilentLeaderBehaviour
+    )
+    sim = run_scenario(config)
+    live = run_live_scenario(config)
+    assert _decisions(live.metrics) == _decisions(sim.metrics)
+    assert _ledgers(live.replicas) == _ledgers(sim.replicas)
+    assert live.ledgers_are_consistent()
+
+
+# ----------------------------------------------------------------------
+# Seeded jitter: deterministic replay, distinct schedules per seed
+# ----------------------------------------------------------------------
+def test_seeded_jitter_is_deterministic():
+    config = _scenario(0, duration=20.0)
+    first = run_live_scenario(config, jitter=0.3)
+    second = run_live_scenario(config, jitter=0.3)
+    assert _decisions(first.metrics) == _decisions(second.metrics)
+    assert _ledgers(first.replicas) == _ledgers(second.replicas)
+    assert first.committed_blocks() > 0
+    assert first.ledgers_are_consistent() and second.ledgers_are_consistent()
+
+
+def test_live_runs_reject_simulator_adversaries():
+    config = _scenario(0)
+    config.delay_model = FixedDelay(0.1)
+    with pytest.raises(ConfigurationError):
+        run_live_scenario(config)
+    config.delay_model = None
+    config.scenario = "split_brain_at_gst"
+    with pytest.raises(ConfigurationError):
+        run_live_scenario(config)
+
+
+# ----------------------------------------------------------------------
+# Wall-clock mode (in-memory): real time, still safe
+# ----------------------------------------------------------------------
+def test_wall_clock_local_cluster_commits_in_real_time():
+    config = _scenario(0, delta=0.1, duration=5.0)
+    result = run_live_scenario(config, clock=MonotonicClock())
+    assert result.committed_blocks() >= 3
+    assert result.ledgers_are_consistent()
+    # Wall timestamps: monotone, non-virtual times recorded by the collector.
+    times = [d.time for d in result.metrics.decisions]
+    assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: the "live" backend
+# ----------------------------------------------------------------------
+def _build_live_cell(params):
+    return ScenarioConfig(
+        n=params["n"],
+        pacemaker=params["protocol"],
+        delta=1.0,
+        actual_delay=0.1,
+        duration=params["duration"],
+        seed=params["seed"],
+        record_trace=False,
+    )
+
+
+def test_live_campaign_backend_and_cache_salting(tmp_path):
+    campaign = Campaign(
+        name="live-backend-test",
+        build=_build_live_cell,
+        sweeps=(Sweep("protocol", ("lumiere", "fever")),),
+        fixed={"n": 4, "duration": 20.0, "seed": 0},
+    )
+    cache = str(tmp_path / "cache")
+    live = campaign.run(backend="live", cache=cache)
+    assert len(live) == 2 and live.cache_misses == 2
+    assert all(r.decisions > 0 and r.ledgers_consistent for r in live)
+    assert all(r.key.startswith("live:") for r in live)
+
+    # Second live run: full cache hits.
+    again = campaign.run(backend="live", cache=cache)
+    assert again.cache_hits == 2 and again.cache_misses == 0
+
+    # Simulated run of the same grid must NOT see the live entries...
+    simulated = campaign.run(backend="serial", cache=cache)
+    assert simulated.cache_misses == 2
+    # ...and (lumiere cell) agrees with the live record on decisions, since
+    # zero-jitter live replay is sim-equivalent.
+    live_lumiere = live.one(protocol="lumiere")
+    sim_lumiere = simulated.one(protocol="lumiere")
+    assert live_lumiere.decisions == sim_lumiere.decisions
+    assert live_lumiere.committed_blocks == sim_lumiere.committed_blocks
+
+    with pytest.raises(ConfigurationError):
+        campaign.run(backend="serial", live_executor=LiveExecutor())
+    with pytest.raises(ConfigurationError):
+        campaign.run(backend="live", workers=4)
+
+    # A differently configured live executor (jitter) must not answer from
+    # the zero-jitter cache: its salt folds the jitter in.
+    jittered = campaign.run(
+        backend="live", cache=cache, live_executor=LiveExecutor(jitter=0.05)
+    )
+    assert jittered.cache_misses == 2
+    assert all(r.key.startswith("live[jitter=0.05]:") for r in jittered)
+
+
+# ----------------------------------------------------------------------
+# TCP smoke: n=4 over localhost commits >= 5 blocks under a hard timeout
+# ----------------------------------------------------------------------
+def test_tcp_cluster_smoke():
+    async def scenario():
+        cluster = TcpCluster(
+            ScenarioConfig(
+                n=4, pacemaker="lumiere", delta=0.2, duration=25.0,
+                seed=0, record_trace=False,
+            )
+        )
+        try:
+            commits = await asyncio.wait_for(
+                cluster.run_until_commits(5, timeout=25.0), timeout=28.0
+            )
+            consistent = cluster.ledgers_are_consistent()
+            decisions = len(cluster.metrics.honest_decisions())
+        finally:
+            await cluster.stop()
+        return commits, consistent, decisions
+
+    commits, consistent, decisions = asyncio.run(scenario())
+    assert commits >= 5, f"only {commits} blocks within the wall-clock budget"
+    assert consistent
+    assert decisions >= commits

@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
 """Kernel hotspot report: cProfile over a steady-state lumiere scenario.
 
-Profiles one full ``run_scenario`` call (n=64 by default, the size where the
-backend-independent kernel share dominates under the hashing backend) and
-writes a machine-readable JSON artifact with the top-N functions by
-cumulative time, plus the same table by internal (self) time.  The CI
-perf-smoke job runs ``--quick`` mode (n=16, shorter run) and uploads the
-JSON, so every push leaves a downloadable record of where the kernel's time
-went.
+Profiles one full ``run_scenario`` call (n=512 by default — the scale the
+raw-speed push targets, where the backend-independent kernel share dominates
+under the hashing backend) and writes a machine-readable JSON artifact with
+the top-N functions by cumulative time, plus the same table by internal
+(self) time.  The CI perf-smoke job runs ``--quick`` mode (n=16, shorter
+run) and uploads the JSON, so every push leaves a downloadable record of
+where the kernel's time went.
 
 The report is a *observability* artifact, not a gate: wall times vary across
 machines, so nothing here fails the build.  The companion correctness guard
@@ -16,7 +16,7 @@ machine-independent).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/profile_kernel.py           # n=64 report
+    PYTHONPATH=src python benchmarks/profile_kernel.py           # n=512 report
     PYTHONPATH=src python benchmarks/profile_kernel.py --quick   # CI: n=16
 """
 
@@ -87,9 +87,9 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI mode: n=16 and a shorter run")
     parser.add_argument("--n", type=int, default=None,
-                        help="system size (default 64, or 16 with --quick)")
+                        help="system size (default 512, or 16 with --quick)")
     parser.add_argument("--duration", type=float, default=None,
-                        help="virtual-time duration (default 25, or 15 with --quick)")
+                        help="virtual-time duration (default 10, or 15 with --quick)")
     parser.add_argument("--backend", default="hashing",
                         help="crypto backend to profile under (default: hashing, "
                              "the backend whose runs the kernel share dominates)")
@@ -101,8 +101,8 @@ def main(argv=None) -> int:
                         / "BENCH_kernel_profile.json")
     args = parser.parse_args(argv)
 
-    n = args.n if args.n is not None else (16 if args.quick else 64)
-    duration = args.duration if args.duration is not None else (15.0 if args.quick else 25.0)
+    n = args.n if args.n is not None else (16 if args.quick else 512)
+    duration = args.duration if args.duration is not None else (15.0 if args.quick else 10.0)
 
     stats, result = profile_scenario(n, duration, args.backend, args.seed)
     total_time = stats.total_tt  # type: ignore[attr-defined]

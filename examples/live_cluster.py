@@ -4,14 +4,16 @@
 The same protocol objects the simulator executes — replicas, the chained
 HotStuff engine, the Lumiere pacemaker — boot here as asyncio tasks, one
 node per :class:`~repro.runtime.tcp.TcpTransport`, exchanging
-length-prefixed JSON frames over localhost TCP and committing blocks in
-real (wall-clock) time.  The run stops as soon as every node's ledger holds
+length-prefixed frames (compact binary by default, JSON via
+``--codec json``) over localhost TCP and committing blocks in real
+(wall-clock) time.  The run stops as soon as every node's ledger holds
 the target number of blocks, then prints wall-clock latency and throughput
 figures recorded by the ordinary metrics collector through the monotonic
 clock behind the :class:`~repro.runtime.base.Clock` seam.
 
 Run with:  python examples/live_cluster.py
            python examples/live_cluster.py --n 4 --blocks 20 --timeout 30
+           python examples/live_cluster.py --codec json   # JSON wire format
 
 Exits non-zero if the cluster fails to commit the target within the
 timeout (the CI live-smoke job relies on this).
@@ -26,6 +28,7 @@ import time
 
 from repro.experiments import ScenarioConfig
 from repro.runner import TcpCluster
+from repro.runtime import available_codecs
 
 
 async def run_cluster(args: argparse.Namespace) -> int:
@@ -37,8 +40,11 @@ async def run_cluster(args: argparse.Namespace) -> int:
         seed=0,
         record_trace=False,
     )
-    cluster = TcpCluster(config)
-    print(f"booting n={args.n} {args.pacemaker} cluster over TCP on localhost...")
+    cluster = TcpCluster(config, codec=args.codec)
+    print(
+        f"booting n={args.n} {args.pacemaker} cluster over TCP on localhost "
+        f"({args.codec} codec)..."
+    )
     started = time.monotonic()
     await cluster.start()
     addresses = {pid: node.transport.address for pid, node in sorted(cluster.nodes.items())}
@@ -53,7 +59,10 @@ async def run_cluster(args: argparse.Namespace) -> int:
     await cluster.stop()
 
     print()
-    print(f"live cluster run (n={args.n}, {args.pacemaker}, Delta={args.delta}s)")
+    print(
+        f"live cluster run (n={args.n}, {args.pacemaker}, Delta={args.delta}s, "
+        f"{args.codec} codec)"
+    )
     print("-" * 48)
     print(f"blocks committed (every node)  : {commits}")
     print(f"honest-leader decisions        : {decisions}")
@@ -85,6 +94,8 @@ def main() -> int:
                         help="known delay bound Delta in seconds")
     parser.add_argument("--pacemaker", default="lumiere",
                         help="view-synchronisation protocol (default lumiere)")
+    parser.add_argument("--codec", default="binary", choices=available_codecs(),
+                        help="wire format for TCP frames (default binary)")
     args = parser.parse_args()
     return asyncio.run(run_cluster(args))
 

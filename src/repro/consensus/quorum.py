@@ -50,6 +50,9 @@ class VoteAggregator:
         self.quorum_size = quorum_size
         self._partials: dict[tuple[int, str], dict[int, PartialSignature]] = {}
         self._formed: set[tuple[int, str]] = set()
+        # Message digest per (view, block): the leader digests the vote
+        # message once per quorum it collects, not once per arriving vote.
+        self._message_digests: dict[tuple[int, str], str] = {}
 
     def add_vote(
         self, view: int, block_id: str, partial: PartialSignature
@@ -59,7 +62,10 @@ class VoteAggregator:
         if key in self._formed:
             return None
         message = ("qc", view, block_id)
-        if not self.scheme.verify_partial(partial, message):
+        message_digest = self._message_digests.get(key)
+        if message_digest is None:
+            message_digest = self._message_digests[key] = self.scheme.backend.digest(message)
+        if not self.scheme.verify_partial(partial, message, message_digest=message_digest):
             return None
         bucket = self._partials.setdefault(key, {})
         bucket[partial.signer] = partial

@@ -28,13 +28,26 @@ class CertificateCollector:
         self.payload_fn = payload_fn
         self._partials: dict[int, dict[int, PartialSignature]] = {}
         self._formed: set[int] = set()
+        self._payloads: dict[int, tuple] = {}
+
+    def _payload_and_digest(self, view: int) -> tuple:
+        """``(payload, digest)`` for ``view``, computed once per view.
+
+        Every arriving share triggers a payload build and digest; memoising
+        per view turns O(shares) digest calls into O(views) — at n=256 this
+        alone removes tens of thousands of digest dispatches per run.
+        """
+        cached = self._payloads.get(view)
+        if cached is None:
+            payload = self.payload_fn(view)
+            cached = self._payloads[view] = (payload, self.scheme.backend.digest(payload))
+        return cached
 
     def add(self, view: int, sender: int, partial: PartialSignature) -> Optional[ThresholdSignature]:
         """Record a share; return the aggregate the first time the threshold is met."""
         if view in self._formed:
             return None
-        payload = self.payload_fn(view)
-        payload_digest = self.scheme.backend.digest(payload)
+        payload, payload_digest = self._payload_and_digest(view)
         if not self.scheme.verify_partial(partial, payload, message_digest=payload_digest):
             return None
         if partial.signer != sender:
@@ -74,13 +87,20 @@ class EpochMessageCollector:
         self._signers: dict[int, set[int]] = {}
         self._tc_reported: set[int] = set()
         self._ec_reported: set[int] = set()
+        # (payload, digest) per view — same memo as CertificateCollector:
+        # every processor runs one of these, and every broadcast epoch-view
+        # message used to re-digest the per-view payload on arrival.
+        self._payloads: dict[int, tuple] = {}
 
     def add(self, view: int, sender: int, partial: PartialSignature) -> tuple[bool, bool]:
         """Record an epoch-view message; report threshold crossings."""
         if partial.signer != sender:
             return (False, False)
-        payload = self.payload_fn(view)
-        payload_digest = self.scheme.backend.digest(payload)
+        cached = self._payloads.get(view)
+        if cached is None:
+            payload = self.payload_fn(view)
+            cached = self._payloads[view] = (payload, self.scheme.backend.digest(payload))
+        payload, payload_digest = cached
         if not self.scheme.verify_partial(partial, payload, message_digest=payload_digest):
             return (False, False)
         signers = self._signers.setdefault(view, set())

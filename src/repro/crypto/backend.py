@@ -46,7 +46,7 @@ import hashlib
 import itertools
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -58,7 +58,22 @@ _DICT_MARK = "\x00dict"
 
 
 def _canonical_set(payload: Any) -> bytes:
-    return b"{" + b",".join(sorted(canonical_bytes(item) for item in payload)) + b"}"
+    # Sets sort to remove ordering nondeterminism.  Homogeneous int sets —
+    # threshold signer sets, the dominant shape of large-n runs — sort
+    # numerically and render in one join, skipping the per-element
+    # canonical_bytes dispatch and the byte-wise re-sort; heterogeneous or
+    # unorderable sets take the general path (render each element, sort the
+    # renderings).  The two renderings differ in element *order* (numeric vs
+    # lexicographic), but every set deterministically takes exactly one
+    # path, so equal sets still agree and distinct sets still differ.
+    try:
+        items = sorted(payload)
+    except TypeError:
+        return b"{" + b",".join(sorted(canonical_bytes(item) for item in payload)) + b"}"
+    for item in items:
+        if type(item) is not int:
+            return b"{" + b",".join(sorted(canonical_bytes(item) for item in items)) + b"}"
+    return b"{" + ",".join(map(repr, items)).encode("ascii") + b"}"
 
 
 def _canonical_sequence(payload: Any) -> bytes:
@@ -206,6 +221,13 @@ class CryptoBackend(ABC):
         #: Number of requests that performed the backend's full computation
         #: (for interning backends this is the miss count).
         self.digest_computes = 0
+        #: Number of :meth:`verify_batch` invocations (each counts as ONE
+        #: digest call however many shares it covers).
+        self.batch_verifies = 0
+        #: Total shares covered by all :meth:`verify_batch` invocations;
+        #: ``batched_shares - batch_verifies`` is the number of per-share
+        #: verify calls the batching amortised away.
+        self.batched_shares = 0
 
     def digest(self, *parts: Any) -> str:
         """Return a short string digest binding all ``parts`` together.
@@ -216,6 +238,37 @@ class CryptoBackend(ABC):
         self.digest_calls += 1
         return self._compute(*parts)
 
+    def verify_batch(self, items: "Sequence[tuple[tuple, str]]") -> bool:
+        """All-or-nothing batched digest check.
+
+        ``items`` is a sequence of ``(parts, expected)`` pairs; returns True
+        iff ``digest(*parts) == expected`` holds for **every** pair (short-
+        circuiting on the first mismatch).  This is the amortised
+        verify-on-aggregate seam: the threshold scheme's ``combine`` checks a
+        whole quorum of partial signatures in one call instead of one
+        ``digest()`` per share.  The whole batch counts as ONE digest call
+        (``digest_calls``), while ``digest_computes`` still tracks real
+        per-share work, so the calls-vs-computes gap — together with
+        ``batch_verifies`` / ``batched_shares`` — surfaces exactly how many
+        dispatches the batching saved.
+
+        The result is bit-identical to looping :meth:`digest` per share:
+        subclasses override :meth:`_verify_batch` with a tighter loop, never
+        with different semantics.
+        """
+        self.digest_calls += 1
+        self.batch_verifies += 1
+        self.batched_shares += len(items)
+        return self._verify_batch(items)
+
+    def _verify_batch(self, items: "Sequence[tuple[tuple, str]]") -> bool:
+        """Backend-specific batched check (no batch accounting)."""
+        compute = self._compute
+        for parts, expected in items:
+            if compute(*parts) != expected:
+                return False
+        return True
+
     @abstractmethod
     def _compute(self, *parts: Any) -> str:
         """Backend-specific digest computation (no accounting)."""
@@ -224,6 +277,8 @@ class CryptoBackend(ABC):
         """Zero the call/compute counters (benchmarks call this between phases)."""
         self.digest_calls = 0
         self.digest_computes = 0
+        self.batch_verifies = 0
+        self.batched_shares = 0
 
     def describe(self) -> str:
         """Human-readable description used in reports and cache fingerprints."""
@@ -250,6 +305,14 @@ class HashingBackend(CryptoBackend):
     def _compute(self, *parts: Any) -> str:
         self.digest_computes += 1
         return blake_digest(*parts)
+
+    def _verify_batch(self, items: Sequence[tuple[tuple, str]]) -> bool:
+        # Hoisted loop: no per-share method dispatch between hashes.
+        for parts, expected in items:
+            self.digest_computes += 1
+            if blake_digest(*parts) != expected:
+                return False
+        return True
 
 
 class CountingBackend(CryptoBackend):
@@ -307,6 +370,26 @@ class CountingBackend(CryptoBackend):
             tokens[key] = token
         return token
 
+    def _verify_batch(self, items: Sequence[tuple[tuple, str]]) -> bool:
+        # Hoisted intern-table loop, same semantics as _compute per share: a
+        # never-seen payload is interned (fresh token, a guaranteed mismatch
+        # for any previously minted proof), a seen one is looked up O(1).
+        tokens = self._tokens
+        for parts, expected in items:
+            key: Any = parts
+            try:
+                token = tokens.get(key)
+            except TypeError:
+                key = _freeze(parts)
+                token = tokens.get(key)
+            if token is None:
+                self.digest_computes += 1
+                token = f"{self._prefix}{len(tokens):x}"
+                tokens[key] = token
+            if token != expected:
+                return False
+        return True
+
 
 class MemoisingBackend(CryptoBackend):
     """Intern the digests of an inner backend per payload value.
@@ -343,6 +426,28 @@ class MemoisingBackend(CryptoBackend):
         value = self.inner.digest(*parts)
         memo[key] = value
         return value
+
+    def _verify_batch(self, items: Sequence[tuple[tuple, str]]) -> bool:
+        # Hoisted memo loop: verified shares were almost always digested
+        # before (their proofs were minted through this backend), so the
+        # common case is one memo hit per share.
+        memo = self._memo
+        for parts, expected in items:
+            key: Any = parts
+            try:
+                cached = memo.get(key)
+            except TypeError:
+                key = _freeze(parts)
+                cached = memo.get(key)
+            if cached is None:
+                self.digest_computes += 1
+                cached = self.inner.digest(*parts)
+                memo[key] = cached
+            else:
+                self.hits += 1
+            if cached != expected:
+                return False
+        return True
 
     def describe(self) -> str:
         return f"{self.name}({self.inner.describe()})"

@@ -103,8 +103,19 @@ class VerifyingKey:
             return False
         if signature.message_digest != message_digest:
             return False
-        expected = self._backend.digest("sig", self.owner, self._secret, message_digest)
+        expected = self._backend.digest(*self.proof_parts(message_digest))
         return signature.proof == expected
+
+    def proof_parts(self, message_digest: str) -> tuple:
+        """The digest parts whose digest is the expected proof over
+        ``message_digest`` — the one place the proof recipe lives.
+
+        :meth:`PKI.batch_verify_items` builds
+        :meth:`~repro.crypto.backend.CryptoBackend.verify_batch` inputs from
+        this, so batched and per-share verification recompute the exact same
+        digests.
+        """
+        return ("sig", self.owner, self._secret, message_digest)
 
 
 @dataclass(frozen=True, slots=True)
@@ -193,3 +204,26 @@ class PKI:
         except CryptoError:
             return False
         return key.verify_digest(signature, message_digest)
+
+    def batch_verify_items(
+        self, signatures: Iterable[Signature], message_digest: str
+    ) -> Optional[list[tuple[tuple, str]]]:
+        """Build :meth:`~repro.crypto.backend.CryptoBackend.verify_batch`
+        input for a whole share set over one message digest.
+
+        Performs the cheap structural checks of :meth:`is_valid_digest`
+        (known signer, matching message digest) up front; if any signature
+        fails one, the batch cannot possibly be all-valid and ``None`` is
+        returned — callers then fall back to the per-share path, which sorts
+        valid from invalid shares with identical results.  Otherwise returns
+        one ``(proof_parts, expected_proof)`` pair per signature, so a
+        single ``verify_batch`` call replaces the per-share digest loop.
+        """
+        verifying = self._verifying
+        items: list[tuple[tuple, str]] = []
+        for signature in signatures:
+            key = verifying.get(signature.signer)
+            if key is None or signature.message_digest != message_digest:
+                return None
+            items.append((key.proof_parts(message_digest), signature.proof))
+        return items

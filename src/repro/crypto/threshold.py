@@ -23,6 +23,23 @@ from repro.errors import ThresholdError
 from repro.crypto.backend import CryptoBackend
 from repro.crypto.signatures import PKI, Signature, SigningKey
 
+# Process-wide default for ThresholdScheme(batch_verify=None): whether
+# ``combine`` verifies a quorum of shares through one
+# ``CryptoBackend.verify_batch`` call instead of one digest per share.
+# Benchmarks flip it off (``bench_scaling.py --no-batch-verify``) to prove
+# the batched and per-share paths produce identical runs.
+_BATCH_VERIFY_DEFAULT = True
+
+
+def set_batch_verify_default(enabled: bool) -> bool:
+    """Set the process-wide batched-verification default; returns the
+    previous value.  Schemes constructed with an explicit ``batch_verify``
+    are unaffected."""
+    global _BATCH_VERIFY_DEFAULT
+    previous = _BATCH_VERIFY_DEFAULT
+    _BATCH_VERIFY_DEFAULT = enabled
+    return previous
+
 
 @dataclass(frozen=True, slots=True)
 class PartialSignature:
@@ -85,6 +102,13 @@ class ThresholdScheme:
         Disable it to measure the raw per-verification seam cost
         (``benchmarks/bench_scaling.py`` does for its pipeline
         microbenchmark).
+    batch_verify:
+        Whether :meth:`combine` verifies a quorum of shares through one
+        :meth:`~repro.crypto.backend.CryptoBackend.verify_batch` call —
+        one digest dispatch per quorum instead of one per share — falling
+        back to the bit-identical per-share loop whenever the batch is not
+        all-valid.  ``None`` (the default) follows the process-wide default
+        set by :func:`set_batch_verify_default` (initially on).
     """
 
     def __init__(
@@ -92,14 +116,24 @@ class ThresholdScheme:
         pki: PKI,
         backend: Optional[CryptoBackend] = None,
         cache_verified: bool = True,
+        batch_verify: Optional[bool] = None,
     ) -> None:
         self.pki = pki
         self.backend = backend if backend is not None else pki.backend
+        self.batch_verify = (
+            _BATCH_VERIFY_DEFAULT if batch_verify is None else batch_verify
+        )
         self._verified: Optional[set[tuple[str, str, int, frozenset[int]]]] = (
             set() if cache_verified else None
         )
         #: Number of :meth:`verify` calls served from the verified cache.
         self.verify_cache_hits = 0
+        #: Number of :meth:`combine` calls whose whole quorum verified in
+        #: one batched call.
+        self.batched_combines = 0
+        #: Number of :meth:`combine` calls that fell back to the per-share
+        #: loop (some share failed the batch, or batching is off).
+        self.combine_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Shares
@@ -141,19 +175,39 @@ class ThresholdScheme:
     ) -> ThresholdSignature:
         """Aggregate shares into a threshold signature.
 
+        With ``batch_verify`` on (the default), the shares matching the
+        message digest are verified through **one**
+        :meth:`~repro.crypto.backend.CryptoBackend.verify_batch` call — the
+        amortised verify-on-aggregate path, one digest dispatch per quorum
+        instead of one per share.  Any share failing the batch (or its cheap
+        pre-checks) drops the whole combine to the per-share loop, whose
+        outcome is bit-identical to the historical behaviour: the fast path
+        only ever accepts sets of shares the slow path would also accept.
+
         Raises :class:`ThresholdError` if there are fewer than ``threshold``
         *distinct valid* signers.
         """
         if threshold <= 0:
             raise ThresholdError(f"threshold must be positive, got {threshold}")
         message_digest = self.backend.digest(message)
+        matching = [p for p in partials if p.message_digest == message_digest]
         valid_signers: set[int] = set()
-        for partial in partials:
-            if partial.message_digest != message_digest:
-                continue
-            if not self.verify_partial(partial, message, message_digest=message_digest):
-                continue
-            valid_signers.add(partial.signer)
+        batched = False
+        if self.batch_verify and matching:
+            items = self.pki.batch_verify_items(
+                [p.signature for p in matching], message_digest
+            )
+            if items is not None and self.backend.verify_batch(items):
+                self.batched_combines += 1
+                batched = True
+                for partial in matching:
+                    valid_signers.add(partial.signer)
+            else:
+                self.combine_fallbacks += 1
+        if not batched:
+            for partial in matching:
+                if self.pki.is_valid_digest(partial.signature, message_digest):
+                    valid_signers.add(partial.signer)
         if len(valid_signers) < threshold:
             raise ThresholdError(
                 f"need {threshold} distinct valid shares, got {len(valid_signers)}"
@@ -166,6 +220,13 @@ class ThresholdScheme:
         # interned backends (a sorted list here forced an O(n) walk per
         # verification at every recipient).
         proof = self.backend.digest("threshold", message_digest, threshold, signers)
+        if self._verified is not None:
+            # Seed the verified cache with the freshly minted aggregate: the
+            # scheme instance is shared by every replica of a run, so each
+            # recipient's first verify of this certificate is already a
+            # cache hit — the O(n) signer-set digest happens exactly once,
+            # here.
+            self._verified.add((proof, message_digest, threshold, signers))
         return ThresholdSignature(
             message_digest=message_digest,
             threshold=threshold,

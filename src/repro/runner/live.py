@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.adversary.corruption import CorruptionPlan
 from repro.config import ProtocolConfig
@@ -55,6 +55,7 @@ from repro.runtime import (
     TcpTransport,
     Transport,
     VirtualClock,
+    WireCodec,
 )
 from repro.sim.tracing import TraceRecorder
 
@@ -326,11 +327,22 @@ class TcpCluster:
         latency now, so it is ignored).
     host:
         Listen address for every node (default localhost).
+    codec:
+        Wire codec for every node's :class:`~repro.runtime.tcp.TcpTransport`:
+        a codec name (``"binary"``, the default, or ``"json"``) or a
+        :class:`~repro.runtime.codec.WireCodec` instance shared by the whole
+        cluster.
     """
 
-    def __init__(self, config: ScenarioConfig, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        host: str = "127.0.0.1",
+        codec: Union[WireCodec, str, None] = None,
+    ) -> None:
         self.config = config
         self.host = host
+        self.codec = codec
         self.clock = MonotonicClock()
         self.nodes: dict[int, TcpNode] = {}
         self.metrics = MetricsCollector()
@@ -355,7 +367,8 @@ class TcpCluster:
         self._stack = stack
         self.metrics = metrics
         transports = {
-            pid: TcpTransport(pid, host=self.host) for pid in protocol_config.processor_ids
+            pid: TcpTransport(pid, host=self.host, codec=self.codec)
+            for pid in protocol_config.processor_ids
         }
         addresses = {}
         for pid, transport in transports.items():

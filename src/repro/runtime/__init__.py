@@ -13,7 +13,7 @@ the *same* protocol objects execute
   :class:`~repro.runtime.transports.LocalTransport`, deterministic when
   seeded under a :class:`~repro.runtime.asyncio_runtime.VirtualClock`), or
 * over real TCP sockets (:class:`~repro.runtime.tcp.TcpTransport`,
-  length-prefixed JSON frames).
+  length-prefixed binary frames by default, JSON via ``codec="json"``).
 
 See ``docs/runtimes.md`` for the interface contract and a
 writing-a-transport guide.
@@ -23,11 +23,20 @@ from repro.runtime.base import Clock, Runtime, RuntimeContext, TimerHandle
 from repro.runtime.simulation import SimRuntime
 from repro.runtime.asyncio_runtime import AsyncioRuntime, MonotonicClock, VirtualClock
 from repro.runtime.transports import LocalTransport, Transport, TransportEnvelope
-from repro.runtime.codec import WireCodec, WireCodecError, default_codec
+from repro.runtime.codec import (
+    BinaryWireCodec,
+    WireCodec,
+    WireCodecError,
+    available_codecs,
+    default_binary_codec,
+    default_codec,
+    make_codec,
+)
 from repro.runtime.tcp import TcpTransport
 
 __all__ = [
     "AsyncioRuntime",
+    "BinaryWireCodec",
     "Clock",
     "LocalTransport",
     "MonotonicClock",
@@ -41,5 +50,8 @@ __all__ = [
     "VirtualClock",
     "WireCodec",
     "WireCodecError",
+    "available_codecs",
+    "default_binary_codec",
     "default_codec",
+    "make_codec",
 ]

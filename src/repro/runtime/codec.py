@@ -1,8 +1,8 @@
-"""Wire codec: protocol payloads <-> length-prefixed JSON frames.
+"""Wire codecs: protocol payloads <-> length-prefixed frames.
 
 Every wire message in the library is a frozen dataclass tree over a small
 closed vocabulary of value shapes — primitives, tuples, frozensets and
-nested registered dataclasses — so the codec is a structural walk, not
+nested registered dataclasses — so a codec is a structural walk, not
 pickle: only classes explicitly registered (or auto-registered from the
 message modules) can cross a socket, and a frame naming an unknown class is
 rejected.  Tuples and frozensets survive the round trip as themselves
@@ -10,17 +10,28 @@ rejected.  Tuples and frozensets survive the round trip as themselves
 threshold-signature signer sets are frozensets whose cached hash the
 verification fast path relies on.
 
-Frames are ``4-byte big-endian length || JSON body``; the body is
-``{"s": sender_pid, "p": packed_payload}``.  JSON rather than msgpack keeps
-the container dependency-free; the framing and the codec seam are the
-msgpack-ready part (swap :meth:`WireCodec.dumps` / :meth:`WireCodec.loads`).
+Two codecs ship, selected by name via :func:`make_codec`:
+
+* :class:`WireCodec` (``"json"``) — frames are ``4-byte big-endian length
+  || JSON body``; the body is ``{"s": sender_pid, "p": packed_payload}``.
+  Human-greppable on the wire, the historical format.
+* :class:`BinaryWireCodec` (``"binary"``, the :class:`TcpTransport`
+  default) — same framing, but the body is a compact tag-byte encoding in
+  the ``struct``/msgpack idiom: one tag byte per value, varint lengths and
+  integers, 8-byte IEEE floats, and registered dataclasses as a numeric
+  class id followed by their field values *positionally* (no field names on
+  the wire).  A QC-carrying proposal shrinks to roughly a third of its JSON
+  frame.  Both ends must register the same classes in the same order — the
+  registration order defines the numeric wire ids — which holds by
+  construction for :func:`default_binary_codec`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Iterable, Optional
+import struct
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import ConfigurationError
 
@@ -43,6 +54,9 @@ class WireCodecError(ConfigurationError):
 
 class WireCodec:
     """Encode/decode registered dataclass trees as JSON frames."""
+
+    #: Machine-readable codec name used by :func:`make_codec` and configs.
+    name = "json"
 
     def __init__(self) -> None:
         self._by_name: dict[str, type] = {}
@@ -165,6 +179,312 @@ class WireCodec:
         raise WireCodecError(f"malformed wire structure: {data!r}")
 
 
+# ----------------------------------------------------------------------
+# Binary codec
+# ----------------------------------------------------------------------
+# One tag byte per value.  Varints are unsigned LEB128; signed integers are
+# zigzag-mapped first so small negatives stay one byte.
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_FSET = 0x09
+_T_DICT = 0x0A
+_T_CLASS = 0x0B
+
+_FLOAT_STRUCT = struct.Struct(">d")
+
+
+def _pack_uvarint(value: int, out: bytearray) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _unpack_uvarint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value >> 1 if not value & 1 else -(value + 1) >> 1
+
+
+class BinaryWireCodec(WireCodec):
+    """Compact tag-byte binary frames over the same registry and framing.
+
+    The registry adds a layer on top of :class:`WireCodec`'s name map: each
+    registered class also gets a numeric wire id (its registration ordinal)
+    and a precomputed field tuple, so a dataclass encodes as
+    ``CLASS tag || varint id || field values`` — no field names, no class
+    names, no JSON quoting.  **Registration order is part of the wire
+    format**: peers decode ids against their own registration sequence, so
+    every node of a cluster must register the same classes in the same
+    order (``default_binary_codec()`` guarantees this for the library's
+    own messages; custom messages must be registered identically on every
+    node, after the defaults).
+
+    Frames keep the ``4-byte big-endian length || body`` envelope of the
+    JSON codec — :class:`TcpTransport` reads both formats' length prefixes
+    identically — but the body is ``svarint sender || packed payload``.
+    """
+
+    name = "binary"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # type -> (wire id, field names); ids are registration ordinals.
+        self._class_info: dict[type, tuple[int, tuple[str, ...]]] = {}
+        # wire id -> (class, field names); the decode side of the same map.
+        self._by_id: list[tuple[type, tuple[str, ...]]] = []
+        # Per-instance exact-type dispatch: primitives from the shared table
+        # plus one entry per registered class, so the hottest shape (a
+        # registered message) packs without an isinstance ladder.
+        self._packers: dict[type, Callable[["BinaryWireCodec", Any, bytearray], None]] = dict(
+            _BINARY_PACKERS
+        )
+
+    def register(self, cls: type) -> type:
+        super().register(cls)
+        if cls not in self._class_info:
+            names = tuple(field.name for field in dataclasses.fields(cls))
+            self._class_info[cls] = (len(self._by_id), names)
+            self._by_id.append((cls, names))
+            self._packers[cls] = BinaryWireCodec._pack_class
+        return cls
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+    def encode_frame(self, sender: int, payload: Any) -> bytes:
+        out = bytearray()
+        _pack_uvarint(_zigzag(sender), out)
+        self._pack_value(payload, out)
+        if len(out) > MAX_FRAME_BYTES:
+            raise WireCodecError(f"frame of {len(out)} bytes exceeds MAX_FRAME_BYTES")
+        return len(out).to_bytes(LENGTH_PREFIX_BYTES, "big") + bytes(out)
+
+    def decode_body(self, body: bytes) -> tuple[int, Any]:
+        try:
+            raw_sender, pos = _unpack_uvarint(body, 0)
+            payload, pos = self._unpack_value(body, pos)
+        except WireCodecError:
+            raise
+        except Exception as exc:
+            raise WireCodecError(f"malformed frame body: {exc}") from exc
+        if pos != len(body):
+            raise WireCodecError(
+                f"malformed frame body: {len(body) - pos} trailing bytes"
+            )
+        return _unzigzag(raw_sender), payload
+
+    # ------------------------------------------------------------------
+    # Value packing
+    # ------------------------------------------------------------------
+    def _pack_value(self, value: Any, out: bytearray) -> None:
+        packer = self._packers.get(type(value))
+        if packer is not None:
+            packer(self, value, out)
+            return
+        self._pack_other(value, out)
+
+    def _pack_class(self, value: Any, out: bytearray) -> None:
+        info = self._class_info.get(type(value))
+        if info is None:
+            raise WireCodecError(
+                f"{type(value)!r} is not registered with this codec; "
+                "register it before sending it over a wire transport"
+            )
+        wire_id, names = info
+        out.append(_T_CLASS)
+        _pack_uvarint(wire_id, out)
+        pack = self._pack_value
+        for name in names:
+            pack(getattr(value, name), out)
+
+    def _pack_other(self, value: Any, out: bytearray) -> None:
+        """Generic path: builtin subclasses and registered dataclasses."""
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            self._pack_class(value, out)
+        elif isinstance(value, bool):
+            out.append(_T_TRUE if value else _T_FALSE)
+        elif isinstance(value, int):
+            out.append(_T_INT)
+            _pack_uvarint(_zigzag(value), out)
+        elif isinstance(value, float):
+            out.append(_T_FLOAT)
+            out += _FLOAT_STRUCT.pack(value)
+        elif isinstance(value, str):
+            _pack_str(self, value, out)
+        elif isinstance(value, bytes):
+            out.append(_T_BYTES)
+            _pack_uvarint(len(value), out)
+            out += value
+        elif isinstance(value, tuple):
+            _pack_tuple(self, value, out)
+        elif isinstance(value, list):
+            _pack_list(self, value, out)
+        elif isinstance(value, frozenset):
+            _pack_fset(self, value, out)
+        elif isinstance(value, dict):
+            _pack_dict(self, value, out)
+        else:
+            raise WireCodecError(
+                f"cannot encode value of type {type(value)!r} for the wire"
+            )
+
+    # ------------------------------------------------------------------
+    # Value unpacking
+    # ------------------------------------------------------------------
+    def _unpack_value(self, buf: bytes, pos: int) -> tuple[Any, int]:
+        tag = buf[pos]
+        pos += 1
+        if tag == _T_STR:
+            length, pos = _unpack_uvarint(buf, pos)
+            end = pos + length
+            if end > len(buf):
+                raise WireCodecError("malformed frame body: truncated string")
+            return buf[pos:end].decode("utf-8"), end
+        if tag == _T_INT:
+            raw, pos = _unpack_uvarint(buf, pos)
+            return _unzigzag(raw), pos
+        if tag == _T_CLASS:
+            wire_id, pos = _unpack_uvarint(buf, pos)
+            if wire_id >= len(self._by_id):
+                raise WireCodecError(f"unknown wire class id {wire_id}")
+            cls, names = self._by_id[wire_id]
+            unpack = self._unpack_value
+            values = []
+            for _ in names:
+                value, pos = unpack(buf, pos)
+                values.append(value)
+            return cls(**dict(zip(names, values))), pos
+        if tag == _T_TUPLE or tag == _T_LIST or tag == _T_FSET:
+            count, pos = _unpack_uvarint(buf, pos)
+            unpack = self._unpack_value
+            items = []
+            for _ in range(count):
+                item, pos = unpack(buf, pos)
+                items.append(item)
+            if tag == _T_TUPLE:
+                return tuple(items), pos
+            if tag == _T_LIST:
+                return items, pos
+            return frozenset(items), pos
+        if tag == _T_DICT:
+            count, pos = _unpack_uvarint(buf, pos)
+            unpack = self._unpack_value
+            result = {}
+            for _ in range(count):
+                key, pos = unpack(buf, pos)
+                value, pos = unpack(buf, pos)
+                result[key] = value
+            return result, pos
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_TRUE:
+            return True, pos
+        if tag == _T_FALSE:
+            return False, pos
+        if tag == _T_FLOAT:
+            end = pos + 8
+            if end > len(buf):
+                raise WireCodecError("malformed frame body: truncated float")
+            return _FLOAT_STRUCT.unpack_from(buf, pos)[0], end
+        if tag == _T_BYTES:
+            length, pos = _unpack_uvarint(buf, pos)
+            end = pos + length
+            if end > len(buf):
+                raise WireCodecError("malformed frame body: truncated bytes")
+            return bytes(buf[pos:end]), end
+        raise WireCodecError(f"malformed frame body: unknown tag 0x{tag:02x}")
+
+
+def _pack_str(codec: BinaryWireCodec, value: str, out: bytearray) -> None:
+    encoded = value.encode("utf-8")
+    out.append(_T_STR)
+    _pack_uvarint(len(encoded), out)
+    out += encoded
+
+
+def _pack_tuple(codec: BinaryWireCodec, value: tuple, out: bytearray) -> None:
+    out.append(_T_TUPLE)
+    _pack_uvarint(len(value), out)
+    pack = codec._pack_value
+    for item in value:
+        pack(item, out)
+
+
+def _pack_list(codec: BinaryWireCodec, value: list, out: bytearray) -> None:
+    out.append(_T_LIST)
+    _pack_uvarint(len(value), out)
+    pack = codec._pack_value
+    for item in value:
+        pack(item, out)
+
+
+def _pack_fset(codec: BinaryWireCodec, value: frozenset, out: bytearray) -> None:
+    # Sorted where possible so identical sets encode identically (matching
+    # the JSON codec's convention); decode order is irrelevant to equality.
+    try:
+        items = sorted(value)
+    except TypeError:
+        items = list(value)
+    out.append(_T_FSET)
+    _pack_uvarint(len(items), out)
+    pack = codec._pack_value
+    for item in items:
+        pack(item, out)
+
+
+def _pack_dict(codec: BinaryWireCodec, value: dict, out: bytearray) -> None:
+    out.append(_T_DICT)
+    _pack_uvarint(len(value), out)
+    pack = codec._pack_value
+    for key, item in value.items():
+        pack(key, out)
+        pack(item, out)
+
+
+# Exact-type dispatch for the hot shapes; subclasses fall through to the
+# isinstance ladder in ``_pack_other`` (same trick as the canonicaliser in
+# ``repro.crypto.backend``).
+_BINARY_PACKERS: dict[type, Callable[[BinaryWireCodec, Any, bytearray], None]] = {
+    type(None): lambda codec, value, out: out.append(_T_NONE),
+    bool: lambda codec, value, out: out.append(_T_TRUE if value else _T_FALSE),
+    int: lambda codec, value, out: (
+        out.append(_T_INT),
+        _pack_uvarint(_zigzag(value), out),
+    )[0],
+    float: lambda codec, value, out: (
+        out.append(_T_FLOAT),
+        out.__iadd__(_FLOAT_STRUCT.pack(value)),
+    )[0],
+    str: _pack_str,
+    tuple: _pack_tuple,
+    list: _pack_list,
+    frozenset: _pack_fset,
+    dict: _pack_dict,
+}
+
+
 def _message_subclasses(base: type) -> set[type]:
     """``base`` and every (transitive) subclass that is a live dataclass.
 
@@ -191,23 +511,15 @@ def _message_subclasses(base: type) -> set[type]:
     }
 
 
-_default: Optional[WireCodec] = None
-
-
-def default_codec() -> WireCodec:
-    """The shared codec knowing every message type the library defines.
+def _register_library_messages(codec: WireCodec) -> WireCodec:
+    """Register every message type the library defines, in canonical order.
 
     Imports the consensus and pacemaker message modules (so their
-    dataclasses exist), then registers every dataclass reachable from the
-    two message roots plus the crypto/block value types they embed.  Built
-    once per process; custom protocols with their own wire messages should
-    build a :class:`WireCodec` and register on top (``default_codec()``
-    returns the shared instance, so registering on it works too).
+    dataclasses exist), then registers the crypto/block value types followed
+    by every dataclass reachable from the two message roots, sorted by name.
+    The order is deterministic across processes — which is what lets
+    :class:`BinaryWireCodec` use registration ordinals as wire ids.
     """
-    global _default
-    if _default is not None:
-        return _default
-
     # The message modules: importing them defines every wire dataclass.
     import repro.consensus.messages  # noqa: F401
     import repro.core.messages  # noqa: F401
@@ -224,11 +536,62 @@ def default_codec() -> WireCodec:
     from repro.crypto.threshold import PartialSignature, ThresholdSignature
     from repro.pacemakers.base import PacemakerMessage
 
-    codec = WireCodec()
     codec.register_all(
         [Block, QuorumCertificate, Signature, PartialSignature, ThresholdSignature]
     )
     for base in (ConsensusMessage, PacemakerMessage):
         codec.register_all(sorted(_message_subclasses(base), key=lambda c: c.__name__))
-    _default = codec
     return codec
+
+
+_default: Optional[WireCodec] = None
+_default_binary: Optional[BinaryWireCodec] = None
+
+
+def default_codec() -> WireCodec:
+    """The shared JSON codec knowing every message type the library defines.
+
+    Built once per process; custom protocols with their own wire messages
+    should build a :class:`WireCodec` and register on top (``default_codec()``
+    returns the shared instance, so registering on it works too).
+    """
+    global _default
+    if _default is None:
+        _default = _register_library_messages(WireCodec())
+    return _default
+
+
+def default_binary_codec() -> BinaryWireCodec:
+    """The shared binary codec over the same library-wide registry.
+
+    The canonical registration order of :func:`_register_library_messages`
+    assigns every message class the same numeric wire id in every process,
+    so any two nodes using ``default_binary_codec()`` interoperate.  Custom
+    messages must be registered *after* the defaults, identically on every
+    node.
+    """
+    global _default_binary
+    if _default_binary is None:
+        _default_binary = _register_library_messages(BinaryWireCodec())
+    return _default_binary
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Names accepted by :func:`make_codec` (and the ``codec=`` knobs)."""
+    return ("binary", "json")
+
+
+def make_codec(name: str) -> WireCodec:
+    """The shared codec instance registered for ``name``.
+
+    ``"binary"`` is the :class:`TcpTransport` default; ``"json"`` selects
+    the length-prefixed JSON format.  Raises :class:`WireCodecError` for
+    unknown names.
+    """
+    if name == "binary":
+        return default_binary_codec()
+    if name == "json":
+        return default_codec()
+    raise WireCodecError(
+        f"unknown wire codec {name!r}; available: {', '.join(available_codecs())}"
+    )

@@ -24,7 +24,7 @@ first (:meth:`TcpTransport.start_server`), read the bound
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.runtime.codec import (
@@ -32,7 +32,8 @@ from repro.runtime.codec import (
     MAX_FRAME_BYTES,
     WireCodec,
     WireCodecError,
-    default_codec,
+    default_binary_codec,
+    make_codec,
 )
 from repro.runtime.transports import Transport, TransportEnvelope
 
@@ -48,8 +49,12 @@ class TcpTransport(Transport):
         Listen address.  ``port=0`` binds an ephemeral port; read
         :attr:`address` after :meth:`start_server`.
     codec:
-        Wire codec; defaults to :func:`~repro.runtime.codec.default_codec`
-        (every message type the library defines).
+        Wire codec: a :class:`~repro.runtime.codec.WireCodec` instance or a
+        codec name (``"binary"``/``"json"``, see
+        :func:`~repro.runtime.codec.make_codec`).  Defaults to
+        :func:`~repro.runtime.codec.default_binary_codec` — the compact
+        binary format over every message type the library defines.  All
+        nodes of one cluster must use the same codec.
     connect_timeout:
         How long a writer keeps retrying each (re)connect window to a peer
         before giving up (covers the all-nodes-starting-at-once race and
@@ -64,14 +69,19 @@ class TcpTransport(Transport):
         pid: int,
         host: str = "127.0.0.1",
         port: int = 0,
-        codec: Optional[WireCodec] = None,
+        codec: Union[WireCodec, str, None] = None,
         connect_timeout: float = 10.0,
     ) -> None:
         super().__init__()
         self.pid = pid
         self.host = host
         self.port = port
-        self.codec = codec if codec is not None else default_codec()
+        if codec is None:
+            self.codec = default_binary_codec()
+        elif isinstance(codec, str):
+            self.codec = make_codec(codec)
+        else:
+            self.codec = codec
         self.connect_timeout = connect_timeout
         self._peers: dict[int, tuple[str, int]] = {}
         self._process: Any = None
@@ -174,17 +184,45 @@ class TcpTransport(Transport):
     # ------------------------------------------------------------------
     def send(self, sender: int, recipient: int, payload: Any) -> None:
         """Deliver locally (immediate) or frame and queue for a peer."""
-        now = self.runtime.now
         if recipient == self.pid:
-            envelope = self._mint(sender, recipient, payload, now)
-            if self._process is None:
-                return
-            self.runtime.call_after(0.0, self._delivered, envelope, self._process)
+            self._deliver_local(sender, payload)
             return
         if recipient not in self._peers:
             raise SimulationError(f"unknown recipient {recipient}")
-        envelope = self._mint(sender, recipient, payload, now)
-        frame = self.codec.encode_frame(sender, payload)
+        self._mint(sender, recipient, payload, self.runtime.now)
+        self._enqueue_frame(recipient, self.codec.encode_frame(sender, payload))
+
+    def broadcast(self, sender: int, payload: Any, include_self: bool = True) -> None:
+        """Send to every processor, encoding the frame **once** for all peers.
+
+        The per-peer ``send`` loop of the base class framed the identical
+        payload once per recipient — an O(n) encode per broadcast.  Here the
+        frame bytes are produced once and the same ``bytes`` object is
+        enqueued on every peer's outbox (outboxes never mutate frames), so a
+        broadcast costs one encode regardless of cluster size.
+        """
+        frame: Optional[bytes] = None
+        now = self.runtime.now
+        for pid in self.process_ids:
+            if not include_self and pid == sender:
+                continue
+            if pid == self.pid:
+                self._deliver_local(sender, payload)
+                continue
+            if frame is None:
+                frame = self.codec.encode_frame(sender, payload)
+            self._mint(sender, pid, payload, now)
+            self._enqueue_frame(pid, frame)
+
+    def _deliver_local(self, sender: int, payload: Any) -> None:
+        """Immediate loopback delivery to the hosted process."""
+        envelope = self._mint(sender, self.pid, payload, self.runtime.now)
+        if self._process is None:
+            return
+        self.runtime.call_after(0.0, self._delivered, envelope, self._process)
+
+    def _enqueue_frame(self, recipient: int, frame: bytes) -> None:
+        """Queue encoded bytes for a peer and (re)spawn its writer task."""
         outbox = self._outboxes.get(recipient)
         if outbox is None:
             outbox = self._outboxes[recipient] = asyncio.Queue()

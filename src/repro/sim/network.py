@@ -189,6 +189,27 @@ class DelayModel(ABC):
         propose = self.propose_delay
         return [propose(send, sim) for send in sends]
 
+    def propose_delays_bulk(
+        self, count: int, now: float, after_gst: bool, sim: Simulator
+    ) -> Optional[list[float]]:
+        """Delays for ``count`` recipients of one send, **without** per-send
+        descriptions.
+
+        The fastest batched form: models whose decision depends only on the
+        clock and the GST flag — not on sender, recipient or payload —
+        return ``count`` delays directly, and the network never builds the
+        O(recipients) :class:`PendingSend` list at all.  Returning ``None``
+        (the default) means the model needs per-send information; the
+        network then falls back to building the descriptions and calling
+        :meth:`propose_delays`.
+
+        Overrides must draw exactly the random numbers :meth:`propose_delays`
+        would — one draw per recipient, in recipient order — so bulk and
+        per-recipient runs stay byte-identical (the equivalence property
+        tests exercise this).
+        """
+        return None
+
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
         return type(self).__name__
@@ -283,6 +304,16 @@ class UniformDelay(DelayModel):
         low, high = self.low, self.high
         return [uniform(low, high) for _ in sends]
 
+    def propose_delays_bulk(
+        self, count: int, now: float, after_gst: bool, sim: Simulator
+    ) -> Optional[list[float]]:
+        # The decision ignores everything but the RNG, so the network can
+        # skip building PendingSend descriptions entirely.  One draw per
+        # recipient in order — the same stream as propose_delays.
+        uniform = sim.rng.uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in range(count)]
+
     def describe(self) -> str:
         return f"UniformDelay({self.low}, {self.high})"
 
@@ -312,6 +343,18 @@ class PreGSTChaos(DelayModel):
         if envelope_info.after_gst:
             return self.post_model.propose_delay(envelope_info, sim)
         return sim.rng.uniform(0.0, self.pre_gst_max_delay)
+
+    def propose_delays_bulk(
+        self, count: int, now: float, after_gst: bool, sim: Simulator
+    ) -> Optional[list[float]]:
+        # All sends of one batch share a send time, hence one GST side.
+        # Pre-GST the chaos draws need no per-send information; post-GST
+        # the wrapped model decides whether it can go bulk.
+        if after_gst:
+            return self.post_model.propose_delays_bulk(count, now, after_gst, sim)
+        uniform = sim.rng.uniform
+        bound = self.pre_gst_max_delay
+        return [uniform(0.0, bound) for _ in range(count)]
 
     def describe(self) -> str:
         return f"PreGSTChaos(pre_max={self.pre_gst_max_delay}, post={self.post_model.describe()})"
@@ -620,23 +663,57 @@ class Network:
                 constant_time = deadline
         else:
             after_gst = now >= config.gst
-            # Positional NamedTuple construction: this list is built per
-            # broadcast under every non-constant delay model.
-            pending = [
-                PendingSend(sender, pid, payload, now, after_gst)
-                for pid in pids
-                if pid != sender
-            ]
-            delays = self._delay_model.propose_delays(pending, sim)
-            if len(delays) != len(pending):
+            count = sum(1 for pid in pids if pid != sender)
+            # Fastest lane first: models that decide from (now, after_gst)
+            # alone hand back the whole delay vector with no per-send
+            # descriptions built at all.
+            delays = self._delay_model.propose_delays_bulk(count, now, after_gst, sim)
+            if delays is None:
+                # Positional NamedTuple construction: this list is built per
+                # broadcast under every send-inspecting delay model.
+                pending = [
+                    PendingSend(sender, pid, payload, now, after_gst)
+                    for pid in pids
+                    if pid != sender
+                ]
+                delays = self._delay_model.propose_delays(pending, sim)
+            if len(delays) != count:
                 raise SimulationError(
-                    f"{self._delay_model.describe()}.propose_delays returned "
-                    f"{len(delays)} delays for {len(pending)} sends"
+                    f"{self._delay_model.describe()}.propose_delays(_bulk) returned "
+                    f"{len(delays)} delays for {count} sends"
                 )
             delay_iter = iter(delays)
             min_delay = config.min_delay
         next_id = self._msg_ids
         envelopes: list[Envelope] = []
+        if delay_iter is None:
+            # Constant-delay fast lane: at most two delivery groups can
+            # exist — the self-copy at ``now`` and everyone else at
+            # ``constant_time`` — so group membership is a comparison
+            # instead of a dict lookup per envelope.  Zero-delay models
+            # collapse both into the ``now`` group, preserving ``pids``
+            # order exactly as the general grouping would.
+            now_group: list[Envelope] = []
+            late_group: list[Envelope] = []
+            for pid in pids:
+                deliver_time = now if pid == sender else constant_time
+                envelope = Envelope(
+                    next(next_id), sender, pid, payload, now, deliver_time, payload_digest
+                )
+                self.messages_sent += 1
+                for listener in listeners:
+                    listener(envelope)
+                envelopes.append(envelope)
+                (now_group if deliver_time == now else late_group).append(envelope)
+            deliver = self._deliver
+            for deliver_time, batch in ((now, now_group), (constant_time, late_group)):
+                if not batch:
+                    continue
+                if len(batch) == 1:
+                    sim.schedule_fired_at(deliver_time, deliver, batch[0])
+                else:
+                    sim.schedule_fired_at(deliver_time, self._deliver_batch, batch)
+            return envelopes
         groups: dict[float, list[Envelope]] = {}
         for pid in pids:
             if pid == sender:

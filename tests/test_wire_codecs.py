@@ -1,0 +1,277 @@
+"""Codec equivalence suite: every registered message, both wire formats.
+
+``tests/test_runtime.py`` covers the JSON codec's behaviour on a handful of
+representative messages; this module is the systematic counterpart added
+with the binary codec:
+
+* a message *zoo* with one instance of **every** registered wire class —
+  with a guard test that fails when a new message type is registered without
+  being added to the zoo — round-tripped through both codecs;
+* cross-codec agreement (both formats decode to equal values);
+* frame-size comparison (binary frames are strictly smaller than JSON
+  frames for every zoo message);
+* edge values (negative/huge ints, unicode, empty containers, bytes) and
+  the binary format's error paths (unknown class id, unknown tag, trailing
+  bytes, truncated values).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.consensus.blocks import Block
+from repro.consensus.messages import (
+    ConsensusMessage,
+    NewView,
+    Proposal,
+    QCAnnounce,
+    Vote,
+)
+from repro.consensus.quorum import QuorumCertificate
+from repro.core.messages import EpochViewMessage, ViewCertificate, ViewMessage
+from repro.crypto.signatures import Signature
+from repro.crypto.threshold import PartialSignature, ThresholdSignature
+from repro.pacemakers.backoff import ViewChangeMessage
+from repro.pacemakers.base import PacemakerMessage
+from repro.pacemakers.cogsworth import RelayCertificate, WishMessage
+from repro.pacemakers.fever import FeverViewCertificate, FeverViewMessage
+from repro.pacemakers.lp22 import LP22EpochCertificate, LP22EpochViewMessage
+from repro.runtime.codec import (
+    BinaryWireCodec,
+    WireCodec,
+    WireCodecError,
+    _register_library_messages,
+    available_codecs,
+    default_binary_codec,
+    default_codec,
+    make_codec,
+)
+
+
+def message_zoo() -> list:
+    """One instance of every registered wire class (nested where natural)."""
+    signature = Signature(signer=3, message_digest="md-vote-7", proof="proof-3")
+    partial = PartialSignature(signer=3, message_digest="md-vote-7", signature=signature)
+    aggregate = ThresholdSignature(
+        message_digest="md-vote-7",
+        threshold=3,
+        signers=frozenset({1, 3, 5, 9}),
+        proof="agg-proof",
+    )
+    block = Block(
+        view=7,
+        parent_id="block-6-beef",
+        proposer=2,
+        payload=("payload", 7, "tx"),
+        justify_view=6,
+    )
+    qc = QuorumCertificate(view=6, block_id="block-6-beef", aggregate=aggregate)
+    return [
+        signature,
+        partial,
+        aggregate,
+        block,
+        qc,
+        ConsensusMessage(view=4),
+        PacemakerMessage(),
+        NewView(view=8, high_qc=qc),
+        Proposal(view=7, block=block, justify=qc),
+        QCAnnounce(view=7, qc=qc, block=block),
+        Vote(view=7, block_id="block-7-cafe", partial=partial),
+        EpochViewMessage(view=9, partial=partial),
+        ViewMessage(view=9, partial=partial),
+        ViewCertificate(view=9, aggregate=aggregate),
+        ViewChangeMessage(view=10, partial=partial),
+        WishMessage(view=11, partial=partial),
+        RelayCertificate(view=11, aggregate=aggregate),
+        FeverViewMessage(view=12, partial=partial),
+        FeverViewCertificate(view=12, aggregate=aggregate),
+        LP22EpochViewMessage(view=13, partial=partial),
+        LP22EpochCertificate(view=13, aggregate=aggregate),
+    ]
+
+
+EDGE_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    127,
+    128,
+    -300,
+    2**40,
+    -(2**40),
+    0.0,
+    -2.5,
+    1e300,
+    "",
+    "plain",
+    "unicode: ✓ λ ∀ 🛰",
+    (),
+    (1, ("nested", -2), None),
+    [],
+    [1, "two", 3.0],
+    frozenset(),
+    frozenset({-5, 0, 7}),
+    frozenset({"b", "a"}),
+    {},
+    {"k": 1, "nested": {"x": (1, 2)}},
+    {3: "int-key", (1, 2): "tuple-key"},
+]
+
+
+@pytest.fixture(params=available_codecs())
+def codec(request):
+    return make_codec(request.param)
+
+
+def roundtrip(codec, sender, payload):
+    frame = codec.encode_frame(sender, payload)
+    body = frame[4:]
+    assert len(body) == int.from_bytes(frame[:4], "big")
+    return codec.decode_body(body)
+
+
+class TestMessageZoo:
+    def test_zoo_covers_every_registered_class(self):
+        # The comparison set is the registry filtered to classes the library
+        # itself defines: other tests legitimately register their own fake
+        # message types (from tests.* modules) on the shared codecs, and a
+        # fresh registration sweep would pick those subclasses up too.
+        zoo_names = {type(message).__name__ for message in message_zoo()}
+        for codec in (
+            _register_library_messages(WireCodec()),
+            default_codec(),
+            default_binary_codec(),
+        ):
+            library_names = {
+                name
+                for name in codec.registered_names
+                if codec._by_name[name].__module__.startswith("repro.")
+            }
+            assert zoo_names == library_names
+
+    def test_every_message_roundtrips(self, codec):
+        for message in message_zoo():
+            sender, decoded = roundtrip(codec, 5, message)
+            assert sender == 5
+            assert decoded == message
+            assert type(decoded) is type(message)
+
+    def test_nested_field_types_survive(self, codec):
+        proposal = next(m for m in message_zoo() if isinstance(m, Proposal))
+        _, decoded = roundtrip(codec, 0, proposal)
+        assert type(decoded.block.payload) is tuple
+        assert type(decoded.justify.aggregate.signers) is frozenset
+        assert decoded.justify.aggregate.signers == frozenset({1, 3, 5, 9})
+
+    def test_codecs_agree_on_decoded_value(self):
+        json_codec = make_codec("json")
+        binary_codec = make_codec("binary")
+        for message in message_zoo():
+            _, from_json = json_codec.decode_body(
+                json_codec.encode_frame(2, message)[4:]
+            )
+            _, from_binary = binary_codec.decode_body(
+                binary_codec.encode_frame(2, message)[4:]
+            )
+            assert from_json == from_binary == message
+
+    def test_binary_frames_strictly_smaller_for_every_message(self):
+        json_codec = make_codec("json")
+        binary_codec = make_codec("binary")
+        for message in message_zoo():
+            json_size = len(json_codec.encode_frame(7, message))
+            binary_size = len(binary_codec.encode_frame(7, message))
+            assert binary_size < json_size, (
+                f"{type(message).__name__}: binary {binary_size} >= json {json_size}"
+            )
+
+    def test_binary_shrinks_qc_carrying_messages_substantially(self):
+        json_codec = make_codec("json")
+        binary_codec = make_codec("binary")
+        for message in message_zoo():
+            if not isinstance(message, (Vote, Proposal, QCAnnounce)):
+                continue
+            json_size = len(json_codec.encode_frame(7, message))
+            binary_size = len(binary_codec.encode_frame(7, message))
+            assert binary_size < json_size // 2
+
+
+class TestEdgeValues:
+    def test_edge_values_roundtrip(self, codec):
+        for value in EDGE_VALUES:
+            sender, decoded = roundtrip(codec, 1, value)
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    def test_bytes_roundtrip_binary_only(self):
+        binary_codec = make_codec("binary")
+        for blob in (b"", b"\x00\xff" * 40):
+            _, decoded = roundtrip(binary_codec, 1, blob)
+            assert decoded == blob
+            assert type(decoded) is bytes
+
+    def test_extreme_senders_roundtrip(self, codec):
+        for sender in (0, 1, -1, 2**31, -(2**31)):
+            got_sender, decoded = roundtrip(codec, sender, "ping")
+            assert got_sender == sender
+            assert decoded == "ping"
+
+
+class TestErrorPaths:
+    def test_make_codec_rejects_unknown_name(self):
+        with pytest.raises(WireCodecError, match="unknown wire codec"):
+            make_codec("msgpack")
+
+    def test_make_codec_returns_shared_instances(self):
+        assert make_codec("json") is default_codec()
+        assert make_codec("binary") is default_binary_codec()
+        assert isinstance(make_codec("binary"), BinaryWireCodec)
+
+    def test_unregistered_dataclass_rejected(self, codec):
+        @dataclasses.dataclass(frozen=True)
+        class Rogue:
+            x: int
+
+        with pytest.raises(WireCodecError, match="not registered"):
+            codec.encode_frame(0, Rogue(x=1))
+
+    def test_unencodable_value_rejected(self, codec):
+        with pytest.raises(WireCodecError, match="cannot encode"):
+            codec.encode_frame(0, object())
+
+    def test_binary_rejects_unknown_class_id(self):
+        binary_codec = make_codec("binary")
+        bogus_id = len(binary_codec._by_id) + 5
+        body = bytes([0, 0x0B]) + bytes([bogus_id])  # sender 0, CLASS tag
+        with pytest.raises(WireCodecError, match="unknown wire class id"):
+            binary_codec.decode_body(body)
+
+    def test_binary_rejects_unknown_tag(self):
+        with pytest.raises(WireCodecError, match="unknown tag"):
+            make_codec("binary").decode_body(bytes([0, 0xFF]))
+
+    def test_binary_rejects_trailing_bytes(self):
+        binary_codec = make_codec("binary")
+        body = binary_codec.encode_frame(1, "ok")[4:] + b"\x00"
+        with pytest.raises(WireCodecError, match="trailing bytes"):
+            binary_codec.decode_body(body)
+
+    def test_binary_rejects_truncated_values(self):
+        binary_codec = make_codec("binary")
+        for payload in ("a long enough string", 3.14, b"some bytes"):
+            body = binary_codec.encode_frame(1, payload)[4:]
+            with pytest.raises(WireCodecError, match="malformed frame body"):
+                binary_codec.decode_body(body[:-3])
+
+    def test_binary_rejects_empty_body(self):
+        with pytest.raises(WireCodecError, match="malformed frame body"):
+            make_codec("binary").decode_body(b"")
+
+    def test_json_rejects_garbage_body(self):
+        with pytest.raises(WireCodecError, match="malformed frame body"):
+            make_codec("json").decode_body(b"\x01\x02not json")

@@ -109,6 +109,8 @@ class MetricsCollector:
         # Distinct payload contents honest processors put on the wire, from
         # Envelope.payload_digest (networks with a crypto backend attached).
         self._payload_digests: set[str] = set()
+        # Injected-fault totals of a chaotic live run (None outside chaos).
+        self._fault_counters = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -132,6 +134,22 @@ class MetricsCollector:
         cluster start for live clusters, virtual seconds under replay).
         """
         self.attach_network(transport)
+
+    def attach_fault_counters(self, counters) -> None:
+        """Adopt a chaos layer's :class:`~repro.runtime.chaos.FaultCounters`.
+
+        The counters object is shared live state (the transport and the
+        downtime trackers keep bumping it); :attr:`fault_counts` snapshots
+        it on access.
+        """
+        self._fault_counters = counters
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault totals by name (empty outside chaotic runs)."""
+        if self._fault_counters is None:
+            return {}
+        return self._fault_counters.as_dict()
 
     # ------------------------------------------------------------------
     # Recording

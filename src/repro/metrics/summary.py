@@ -82,6 +82,9 @@ class RunMetrics:
     epoch_sync_events: tuple[tuple[float, int], ...]
     #: Total messages sent by honest processors.
     total_honest_messages: int
+    #: Injected-fault totals of a chaotic live run, as sorted
+    #: ``(name, count)`` pairs (empty for simulated and fault-free runs).
+    fault_counts: tuple[tuple[str, int], ...] = ()
 
     # ------------------------------------------------------------------
     # The same queries MetricsCollector answers, evaluated on the residue
@@ -119,6 +122,10 @@ class RunMetrics:
         gaps = sorted(self.decision_gaps(after))
         return gaps[len(gaps) // 2] if gaps else None
 
+    def fault_count(self, name: str) -> int:
+        """One injected-fault counter by name (0 when absent)."""
+        return dict(self.fault_counts).get(name, 0)
+
 
 def extract_run_metrics(metrics: MetricsCollector) -> RunMetrics:
     """Reduce a live collector to its picklable :class:`RunMetrics` residue."""
@@ -135,6 +142,7 @@ def extract_run_metrics(metrics: MetricsCollector) -> RunMetrics:
             if pid in metrics.honest_ids
         ),
         total_honest_messages=metrics.total_honest_messages,
+        fault_counts=tuple(sorted(metrics.fault_counts.items())),
     )
 
 

@@ -20,10 +20,16 @@ discrete-event simulator:
   picklable :class:`~repro.runner.record.RunRecord` rows (cache keys are
   salted with ``live:`` so live and simulated records never collide).
 
-Live runs support crash/recovery behaviours (they are timer-driven) but not
-simulator delay models or named fault scenarios — those are expressed in
-terms of the simulated network's adversary hooks; the live knobs are the
-transport's ``delay``/``jitter``.
+Live runs support the full adversarial surface: crash/recovery behaviours
+(timer-driven, runtime-agnostic), simulator delay models and the named
+``repro.faults`` scenarios.  A config with a ``delay_model`` or ``scenario``
+is executed under a :class:`~repro.runtime.chaos.FaultyTransport` driving
+the *same* schedule objects as the simulator (see
+:mod:`repro.runtime.chaos`): under the default virtual clock this replays
+the simulated scenario's decisions and ledgers exactly, and
+injected-fault counters (drops, duplicates, partition epochs,
+kills/restarts) surface through the run's
+:class:`~repro.metrics.collector.MetricsCollector`.
 """
 
 from __future__ import annotations
@@ -42,13 +48,17 @@ from repro.crypto.signatures import PKI
 from repro.crypto.threshold import ThresholdScheme
 from repro.errors import ConfigurationError
 from repro.experiments.scenario import ScenarioConfig
+from repro.faults.library import get_scenario
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import ComplexitySummary, RunMetrics, extract_run_metrics, summarize_run
 from repro.pacemakers.registry import make_pacemaker_factory
 from repro.runner.record import RunRecord
 from repro.runtime import (
     AsyncioRuntime,
+    ChaosConfig,
     Clock,
+    FaultCounters,
+    FaultyTransport,
     LocalTransport,
     MonotonicClock,
     RuntimeContext,
@@ -56,7 +66,10 @@ from repro.runtime import (
     Transport,
     VirtualClock,
     WireCodec,
+    adapt_schedule,
+    track_downtime,
 )
+from repro.sim.network import DelayModel
 from repro.sim.tracing import TraceRecorder
 
 #: How far behind zero a replica's local clock is re-anchored immediately
@@ -79,22 +92,30 @@ def _start_replicas(replicas: dict[int, Replica], wall: bool) -> None:
 
 def _build_protocol_stack(
     config: ScenarioConfig,
-) -> tuple[ProtocolConfig, CryptoBackend, CorruptionPlan, MetricsCollector, PKI, dict, ThresholdScheme, TraceRecorder]:
+) -> tuple[ProtocolConfig, CryptoBackend, CorruptionPlan, MetricsCollector, PKI, dict, ThresholdScheme, TraceRecorder, Optional[DelayModel]]:
     """The runtime-independent half of scenario construction.
 
-    Validates the config for live execution, installs the crypto backend,
-    builds keys, scheme, metrics and the corruption plan — everything
-    :func:`repro.experiments.scenario.build_scenario` does before it
-    touches the simulator.
+    Resolves a named scenario to its ``(delay_model, corruption)`` effect
+    (exactly as :func:`repro.experiments.scenario.build_scenario` does),
+    installs the crypto backend, builds keys, scheme, metrics and the
+    corruption plan.  The returned delay model — ``None`` for fault-free
+    and corruption-only configs — is the schedule the live transport must
+    impose (via :func:`repro.runtime.chaos.adapt_schedule`).
     """
-    if config.delay_model is not None or config.scenario is not None:
-        raise ConfigurationError(
-            "live runs model latency with the transport's delay/jitter, not "
-            "with simulator delay models or named scenarios; leave "
-            "delay_model and scenario unset"
+    delay_model = config.delay_model
+    explicit_corruption = config.corruption
+    if config.scenario is not None:
+        if delay_model is not None or explicit_corruption is not None:
+            raise ConfigurationError(
+                f"scenario {config.scenario!r} fully determines the adversary; "
+                "leave delay_model and corruption unset (override via "
+                "scenario_params instead)"
+            )
+        delay_model, explicit_corruption = get_scenario(config.scenario).build(
+            config, config.scenario_params
         )
     protocol_config = config.protocol_config()
-    corruption = config.corruption or CorruptionPlan.none(protocol_config)
+    corruption = explicit_corruption or CorruptionPlan.none(protocol_config)
     if corruption.config.n != protocol_config.n:
         raise ConfigurationError("corruption plan was built for a different system size")
     crypto_backend = make_backend(protocol_config.crypto_backend)
@@ -104,7 +125,10 @@ def _build_protocol_stack(
     pki, signing_keys = PKI.setup(protocol_config.processor_ids, backend=crypto_backend)
     scheme = ThresholdScheme(pki)
     trace = TraceRecorder(enabled=config.record_trace)
-    return protocol_config, crypto_backend, corruption, metrics, pki, signing_keys, scheme, trace
+    return (
+        protocol_config, crypto_backend, corruption, metrics, pki, signing_keys,
+        scheme, trace, delay_model,
+    )
 
 
 def _make_replica(
@@ -197,6 +221,11 @@ class LiveRunResult:
         views = [self.metrics.max_view_entered(r.pid) for r in self.honest_replicas]
         return max(views) if views else -1
 
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault totals by name (empty for fault-free runs)."""
+        return self.metrics.fault_counts
+
     def describe(self) -> str:
         """One-line run description for reports."""
         mode = "virtual" if self.runtime.virtual else "wall"
@@ -215,12 +244,19 @@ def build_live_scenario(
     jitter: float = 0.0,
     clock: Optional[Clock] = None,
     transport: Optional[LocalTransport] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> LiveRunResult:
     """Construct an in-memory live cluster for ``config`` without running it.
 
-    The transport's base delay defaults to ``config.actual_delay`` and its
-    jitter RNG to ``config.seed`` — so a zero-jitter build is the live
-    twin of the simulated ``FixedDelay(actual_delay)`` scenario.
+    Fault-free configs get a bare :class:`LocalTransport` (base delay
+    ``config.actual_delay``, jitter RNG seeded ``config.seed`` — the live
+    twin of the simulated ``FixedDelay(actual_delay)`` scenario).  A
+    ``delay_model`` or named ``scenario`` wraps a zero-delay transport in a
+    :class:`~repro.runtime.chaos.FaultyTransport` imposing the adapted
+    schedule under the config's partial-synchrony envelope; ``chaos`` adds
+    drop/duplicate injectors either way.  Chaotic builds attach their
+    :class:`~repro.runtime.chaos.FaultCounters` to the metrics collector
+    and track behaviour-declared downtime windows as kills/restarts.
     """
     (
         protocol_config,
@@ -231,9 +267,44 @@ def build_live_scenario(
         signing_keys,
         scheme,
         trace,
+        delay_model,
     ) = _build_protocol_stack(config)
+    chaotic = (
+        delay_model is not None
+        or (chaos is not None and chaos.active)
+        or config.scenario is not None
+    )
+    counters = FaultCounters() if chaotic else None
     if transport is None:
-        transport = LocalTransport(delay=config.actual_delay, jitter=jitter, seed=config.seed)
+        if delay_model is not None:
+            if jitter:
+                raise ConfigurationError(
+                    "a delay model/scenario fully determines live latency; "
+                    "transport jitter must stay 0 (it would add on top of "
+                    "the schedule and break sim parity)"
+                )
+            # The schedule proposes every non-self latency, so the inner
+            # transport contributes none of its own.
+            inner = LocalTransport(delay=0.0, jitter=0.0, seed=config.seed)
+            transport = FaultyTransport(
+                inner,
+                schedule=adapt_schedule(delay_model),
+                network=config.network_config(),
+                schedule_seed=config.seed,
+                chaos=chaos,
+                counters=counters,
+            )
+        else:
+            transport = LocalTransport(
+                delay=config.actual_delay, jitter=jitter, seed=config.seed
+            )
+            if chaos is not None and chaos.active:
+                transport = FaultyTransport(transport, chaos=chaos, counters=counters)
+    elif delay_model is not None:
+        raise ConfigurationError(
+            "pass either an explicit transport or a delay_model/scenario, "
+            "not both (the scenario's schedule decides the transport)"
+        )
     runtime = AsyncioRuntime(transport, clock=clock, trace=trace, seed=config.seed)
     metrics.attach_transport(transport)
     ctx = RuntimeContext(runtime=runtime, trace=trace)
@@ -243,6 +314,9 @@ def build_live_scenario(
         )
         for pid in protocol_config.processor_ids
     }
+    if counters is not None:
+        metrics.attach_fault_counters(counters)
+        track_downtime(runtime, replicas, counters)
     return LiveRunResult(
         config=config,
         protocol_config=protocol_config,
@@ -262,6 +336,7 @@ async def run_live_scenario_async(
     clock: Optional[Clock] = None,
     max_events: Optional[int] = None,
     stop_when: Optional[Callable[[LiveRunResult], bool]] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> LiveRunResult:
     """Build and run an in-memory live cluster to ``config.duration``.
 
@@ -270,7 +345,7 @@ async def run_live_scenario_async(
     :class:`MonotonicClock`; ``stop_when`` (called with the result between
     events) ends the run early either way.
     """
-    result = build_live_scenario(config, jitter=jitter, clock=clock)
+    result = build_live_scenario(config, jitter=jitter, clock=clock, chaos=chaos)
     _start_replicas(result.replicas, wall=not result.runtime.virtual)
     predicate = None if stop_when is None else (lambda: stop_when(result))
     await result.runtime.run(
@@ -287,12 +362,13 @@ def run_live_scenario(
     clock: Optional[Clock] = None,
     max_events: Optional[int] = None,
     stop_when: Optional[Callable[[LiveRunResult], bool]] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> LiveRunResult:
     """Blocking wrapper over :func:`run_live_scenario_async` (owns the loop)."""
     return asyncio.run(
         run_live_scenario_async(
             config, jitter=jitter, clock=clock, max_events=max_events,
-            stop_when=stop_when,
+            stop_when=stop_when, chaos=chaos,
         )
     )
 
@@ -302,10 +378,15 @@ def run_live_scenario(
 # ----------------------------------------------------------------------
 @dataclass
 class TcpNode:
-    """One node of a :class:`TcpCluster`."""
+    """One node of a :class:`TcpCluster`.
+
+    ``transport`` is the node's :class:`~repro.runtime.tcp.TcpTransport`,
+    or a :class:`~repro.runtime.chaos.FaultyTransport` wrapping it when the
+    cluster runs a chaotic scenario.
+    """
 
     pid: int
-    transport: TcpTransport
+    transport: Transport
     runtime: AsyncioRuntime
     replica: Replica
 
@@ -346,6 +427,9 @@ class TcpCluster:
         self.clock = MonotonicClock()
         self.nodes: dict[int, TcpNode] = {}
         self.metrics = MetricsCollector()
+        #: Shared injected-fault totals across all nodes (``None`` until a
+        #: chaotic cluster has started).
+        self.fault_counters: Optional[FaultCounters] = None
         self._started = False
         self._stack: Optional[tuple] = None
 
@@ -363,18 +447,39 @@ class TcpCluster:
             signing_keys,
             scheme,
             trace,
+            delay_model,
         ) = stack
         self._stack = stack
         self.metrics = metrics
-        transports = {
+        chaotic = delay_model is not None or self.config.scenario is not None
+        counters = FaultCounters() if chaotic else None
+        tcp_transports = {
             pid: TcpTransport(pid, host=self.host, codec=self.codec)
             for pid in protocol_config.processor_ids
         }
         addresses = {}
-        for pid, transport in transports.items():
+        for pid, transport in tcp_transports.items():
             addresses[pid] = await transport.start_server()
-        for transport in transports.values():
+        for transport in tcp_transports.values():
             transport.set_peers(addresses)
+        transports: dict[int, Transport] = dict(tcp_transports)
+        if delay_model is not None:
+            # Each node imposes the shared schedule on its *outgoing* sends:
+            # a hold-then-forward approximation of the simulated latency (the
+            # real socket adds its own small delay on top, so — unlike the
+            # single-runtime virtual-clock path — this lane makes no
+            # bit-exact parity claim).  Per-node seed offsets mirror the
+            # runtimes' seeds.
+            transports = {
+                pid: FaultyTransport(
+                    transport,
+                    schedule=adapt_schedule(delay_model),
+                    network=self.config.network_config(),
+                    schedule_seed=self.config.seed + pid,
+                    counters=counters,
+                )
+                for pid, transport in tcp_transports.items()
+            }
         replicas: dict[int, Replica] = {}
         for pid, transport in transports.items():
             runtime = AsyncioRuntime(
@@ -390,6 +495,11 @@ class TcpCluster:
             self.nodes[pid] = TcpNode(pid, transport, runtime, replica)
         for node in self.nodes.values():
             await node.transport.start()
+        if counters is not None:
+            self.fault_counters = counters
+            metrics.attach_fault_counters(counters)
+            for pid, node in self.nodes.items():
+                track_downtime(node.runtime, {pid: node.replica}, counters)
         _start_replicas(replicas, wall=True)
         self._started = True
 
@@ -430,11 +540,13 @@ class TcpCluster:
         await asyncio.gather(*(node.runtime.stop() for node in self.nodes.values()))
 
     async def run_until_commits(
-        self, blocks: int, timeout: float
+        self, blocks: int, timeout: float, poll: float = 0.02
     ) -> int:
         """Run until every ledger holds ``blocks`` commits (or ``timeout`` wall
         seconds); returns the final minimum ledger length."""
-        await self.run(timeout, stop_when=lambda c: c.min_committed() >= blocks)
+        await self.run(
+            timeout, stop_when=lambda c: c.min_committed() >= blocks, poll=poll
+        )
         return self.min_committed()
 
 
@@ -449,18 +561,20 @@ def execute_live_cell(
     max_events: Optional[int] = None,
     config: Optional[ScenarioConfig] = None,
     jitter: float = 0.0,
+    chaos: Optional[ChaosConfig] = None,
 ) -> RunRecord:
     """Run one campaign cell on the asyncio runtime (virtual clock).
 
     The live twin of :func:`repro.runner.executor.execute_cell`: same
     picklable :class:`RunRecord` shape, with ``events_processed`` counted
     by the runtime.  ``key`` arrives already salted by the campaign layer
-    (``live:`` prefix) so cached live records never shadow simulated ones.
+    (``live:`` prefix, plus chaos knobs when set) so cached live records
+    never shadow simulated ones.
     """
     if config is None:
         config = build(params)
     started = time.perf_counter()
-    result = run_live_scenario(config, jitter=jitter, max_events=max_events)
+    result = run_live_scenario(config, jitter=jitter, max_events=max_events, chaos=chaos)
     wall_time = time.perf_counter() - started
     return RunRecord(
         run_id=run_id,
@@ -488,18 +602,26 @@ class LiveExecutor:
 
     #: Uniform jitter band added to every cell's transport latency.
     jitter: float = 0.0
+    #: Drop/duplicate injection applied to every cell's transport.
+    chaos: Optional[ChaosConfig] = None
 
     @property
     def cache_salt(self) -> str:
         """Cache-key prefix binding everything this executor changes about a run.
 
-        ``live:`` alone for the canonical zero-jitter executor; the jitter
-        value is folded in otherwise, so records produced under different
-        latency noise never answer for each other from a shared cache.
+        ``live:`` alone for the canonical zero-jitter, fault-free executor;
+        the jitter value and chaos knobs are folded in otherwise, so records
+        produced under different latency noise or injected faults never
+        answer for each other from a shared cache.
         """
-        if self.jitter == 0.0:
+        knobs = []
+        if self.jitter != 0.0:
+            knobs.append(f"jitter={self.jitter!r}")
+        if self.chaos is not None and self.chaos.active:
+            knobs.append(self.chaos.describe())
+        if not knobs:
             return "live:"
-        return f"live[jitter={self.jitter!r}]:"
+        return f"live[{','.join(knobs)}]:"
 
     def __call__(
         self,
@@ -512,5 +634,5 @@ class LiveExecutor:
     ) -> RunRecord:
         return execute_live_cell(
             build, params, run_id, key, max_events=max_events, config=config,
-            jitter=self.jitter,
+            jitter=self.jitter, chaos=self.chaos,
         )

@@ -23,6 +23,18 @@ from repro.runtime.base import Clock, Runtime, RuntimeContext, TimerHandle
 from repro.runtime.simulation import SimRuntime
 from repro.runtime.asyncio_runtime import AsyncioRuntime, MonotonicClock, VirtualClock
 from repro.runtime.transports import LocalTransport, Transport, TransportEnvelope
+from repro.runtime.chaos import (
+    ChaosConfig,
+    ChaosContext,
+    FaultCounters,
+    FaultyTransport,
+    ScheduleAdapter,
+    adapt_schedule,
+    live_adaptable_classes,
+    register_live_adapter,
+    schedule_downtime,
+    track_downtime,
+)
 from repro.runtime.codec import (
     BinaryWireCodec,
     WireCodec,
@@ -37,11 +49,16 @@ from repro.runtime.tcp import TcpTransport
 __all__ = [
     "AsyncioRuntime",
     "BinaryWireCodec",
+    "ChaosConfig",
+    "ChaosContext",
     "Clock",
+    "FaultCounters",
+    "FaultyTransport",
     "LocalTransport",
     "MonotonicClock",
     "Runtime",
     "RuntimeContext",
+    "ScheduleAdapter",
     "SimRuntime",
     "TcpTransport",
     "TimerHandle",
@@ -50,8 +67,13 @@ __all__ = [
     "VirtualClock",
     "WireCodec",
     "WireCodecError",
+    "adapt_schedule",
     "available_codecs",
     "default_binary_codec",
     "default_codec",
+    "live_adaptable_classes",
     "make_codec",
+    "register_live_adapter",
+    "schedule_downtime",
+    "track_downtime",
 ]

@@ -1,0 +1,618 @@
+"""Transport-level fault injection: the live twin of the simulated adversary.
+
+The simulator expresses its adversary as a
+:class:`~repro.sim.network.DelayModel` consulted by the network on every
+send.  Live runtimes have no network object to hook — latency lives in the
+transport — so this module decorates any
+:class:`~repro.runtime.transports.Transport` with a
+:class:`FaultyTransport` that imposes the *same* schedule objects the
+simulator runs (plus drop/duplicate injectors the simulator has no analogue
+for), applying the identical partial-synchrony envelope: delays are floored
+at ``min_delay`` and clamped to ``max(GST, send) + Delta``, exactly as
+:meth:`repro.sim.network.Network._delivery_time` does.
+
+Determinism contract (the basis of the cross-runtime conformance suite in
+``tests/test_live_faults.py``): library delay models read nothing from the
+simulator but ``sim.rng`` and the :class:`~repro.sim.network.PendingSend`,
+and the simulated RNG is consumed *only* by delay models — one draw per
+non-self send for the drawing models, in ascending-recipient order per
+broadcast.  :class:`ChaosContext` reproduces that stream with its own
+``random.Random(seed)``, so a zero-jitter virtual-clock run under a
+:class:`FaultyTransport` replays the simulated scenario's decisions and
+ledgers exactly.  Wall clocks (and real TCP latency underneath a schedule)
+break exact replay; there the schedule is an approximation — see
+``docs/runtimes.md``.
+
+Schedules must be *adapted* before they drive a live transport:
+:func:`adapt_schedule` resolves a registered adapter per concrete model
+class (recursively, so composed schedules validate whole trees) and refuses
+unknown classes.  Adapters also observe the traffic they shape, feeding the
+:class:`FaultCounters` that surface injected-fault totals (drops,
+duplicates, partition epochs, kills/restarts, ...) through the metrics
+layer.  :class:`~repro.sim.network.AdversarialDelay` is deliberately *not*
+adaptable: it wraps arbitrary callables that may close over simulator state
+no live runtime can provide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.faults.schedules import (
+    IntermittentSynchrony,
+    MessageClassDelay,
+    PartitionSchedule,
+    RotatingLeaderDelay,
+)
+from repro.runtime.transports import Transport, TransportEnvelope
+from repro.sim.network import (
+    DelayModel,
+    FixedDelay,
+    NetworkConfig,
+    PendingSend,
+    PreGSTChaos,
+    TargetedDelay,
+    UniformDelay,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking only
+    from repro.runtime.asyncio_runtime import AsyncioRuntime
+
+
+# ----------------------------------------------------------------------
+# Fault accounting
+# ----------------------------------------------------------------------
+#: Counters every chaotic run reports, even when zero.
+BASE_FAULT_COUNTS = ("drops", "duplicates", "kills", "partition_epochs", "restarts")
+
+
+class FaultCounters:
+    """Injected-fault totals for one run, shared by every injection site.
+
+    A plain named-counter bag (``bump``) plus distinct-key counting
+    (``note_epoch``) for window-shaped faults: a partition that defers ten
+    thousand messages is still *one* partition epoch.  ``as_dict()`` is what
+    the metrics layer snapshots into
+    :attr:`~repro.metrics.summary.RunMetrics.fault_counts`.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {name: 0 for name in BASE_FAULT_COUNTS}
+        self._epoch_keys: set[tuple] = set()
+
+    def bump(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to the counter called ``name`` (created at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def note_epoch(self, name: str, key: tuple) -> None:
+        """Bump ``name`` once per distinct ``key`` (idempotent per key)."""
+        full_key = (name, key)
+        if full_key not in self._epoch_keys:
+            self._epoch_keys.add(full_key)
+            self.bump(name)
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters by name (base counters always present)."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {k: v for k, v in self._counts.items() if v}
+        return f"FaultCounters({nonzero})"
+
+
+# ----------------------------------------------------------------------
+# The schedule context: what a live run offers a sim DelayModel
+# ----------------------------------------------------------------------
+class ChaosContext:
+    """The live stand-in for the ``sim`` argument of ``propose_delay``.
+
+    Library delay models touch exactly two things on the simulator: the
+    seeded ``rng`` (the delay-model stream — nothing else in a run consumes
+    it) and, in principle, ``now``.  Seeding with the scenario seed
+    therefore replays the simulated draw stream verbatim, provided the
+    transport proposes one delay per non-self send in send order (which
+    :class:`FaultyTransport` does).
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self._runtime: Optional["AsyncioRuntime"] = None
+
+    def bind(self, runtime: "AsyncioRuntime") -> None:
+        """Attach the runtime whose clock ``now`` reads."""
+        self._runtime = runtime
+
+    @property
+    def now(self) -> float:
+        """Current runtime time (0.0 before the context is bound)."""
+        return self._runtime.now if self._runtime is not None else 0.0
+
+
+# ----------------------------------------------------------------------
+# Schedule adapters
+# ----------------------------------------------------------------------
+class ScheduleAdapter:
+    """A sim :class:`DelayModel` validated and instrumented for live use.
+
+    ``propose_delay`` delegates to the wrapped model itself — the exact
+    code the simulator runs — so sim/live parity is structural, not a
+    re-implementation.  ``observe`` mirrors the model's dispatch (only the
+    branch that actually shaped the message is observed) and feeds the
+    run's :class:`FaultCounters`.
+    """
+
+    def __init__(self, model: DelayModel) -> None:
+        self.model = model
+
+    def propose_delay(self, pending: PendingSend, ctx: ChaosContext) -> float:
+        """The model's proposed delay for ``pending`` (same draws as the sim)."""
+        return self.model.propose_delay(pending, ctx)
+
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        """Record what this schedule did to ``pending``.  Default: nothing."""
+
+    def describe(self) -> str:
+        """The wrapped model's parameter-faithful description."""
+        return self.model.describe()
+
+
+class _LeafAdapter(ScheduleAdapter):
+    """Benign leaf models (fixed/uniform latency): nothing to observe."""
+
+
+class _PassThroughAdapter(ScheduleAdapter):
+    """One-child wrappers whose targeted branch needs no counter."""
+
+    def __init__(self, model: DelayModel, child: ScheduleAdapter) -> None:
+        super().__init__(model)
+        self.child = child
+
+
+class _TargetedAdapter(_PassThroughAdapter):
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        model = self.model
+        hit = (
+            model.direction in ("to", "both") and pending.recipient in model.targets
+        ) or (model.direction in ("from", "both") and pending.sender in model.targets)
+        if hit:
+            counters.bump("targeted_delays")
+        else:
+            self.child.observe(pending, counters)
+
+
+class _PreGSTAdapter(_PassThroughAdapter):
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        if pending.after_gst:
+            self.child.observe(pending, counters)
+
+
+class _PartitionAdapter(ScheduleAdapter):
+    def __init__(self, model: PartitionSchedule, base: ScheduleAdapter) -> None:
+        super().__init__(model)
+        self.base = base
+
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        model = self.model
+        t = pending.send_time
+        if model.split_at <= t < model.heal_at and model._crosses_split(pending):
+            # One PartitionSchedule holds one split window; composed
+            # schedules (e.g. under IntermittentSynchrony) key further
+            # epochs off the outer window index via note_epoch elsewhere.
+            counters.note_epoch("partition_epochs", (id(model),))
+            counters.bump("partitioned_messages")
+        else:
+            self.base.observe(pending, counters)
+
+
+class _IntermittentAdapter(ScheduleAdapter):
+    def __init__(
+        self, model: IntermittentSynchrony, calm: ScheduleAdapter, chaotic: ScheduleAdapter
+    ) -> None:
+        super().__init__(model)
+        self.calm = calm
+        self.chaotic = chaotic
+
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        model = self.model
+        t = pending.send_time
+        if model.in_chaos(t):
+            period = model.calm_duration + model.chaos_duration
+            window = int((t - model.start) // period)
+            counters.note_epoch("chaos_windows", (id(model), window))
+            self.chaotic.observe(pending, counters)
+        else:
+            self.calm.observe(pending, counters)
+
+
+class _RotatingAdapter(ScheduleAdapter):
+    def __init__(self, model: RotatingLeaderDelay, base: ScheduleAdapter) -> None:
+        super().__init__(model)
+        self.base = base
+
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        model = self.model
+        victim = model.victim_at(pending.send_time)
+        hit = (model.direction in ("to", "both") and pending.recipient == victim) or (
+            model.direction in ("from", "both") and pending.sender == victim
+        )
+        if hit:
+            counters.bump("dos_hits")
+        else:
+            self.base.observe(pending, counters)
+
+
+class _MessageClassAdapter(ScheduleAdapter):
+    def __init__(self, model: MessageClassDelay, base: ScheduleAdapter) -> None:
+        super().__init__(model)
+        self.base = base
+
+    def observe(self, pending: PendingSend, counters: FaultCounters) -> None:
+        if self.model.matches(pending.payload):
+            counters.bump("throttled_messages")
+        else:
+            self.base.observe(pending, counters)
+
+
+#: Adapter factory per concrete DelayModel class (exact type, no subclass
+#: fallback: a new schedule class must register its own adapter — the
+#: registry-coverage guard in tests/test_faults.py enforces this).
+_LIVE_ADAPTERS: dict[type, Callable[[DelayModel], ScheduleAdapter]] = {}
+
+
+def register_live_adapter(
+    model_cls: type, factory: Callable[[DelayModel], ScheduleAdapter]
+) -> None:
+    """Register ``factory`` as the live adapter for ``model_cls``.
+
+    ``factory`` receives the model instance and returns its
+    :class:`ScheduleAdapter`; factories for composite models should call
+    :func:`adapt_schedule` on their children so validation recurses.
+    """
+    if model_cls in _LIVE_ADAPTERS:
+        raise ConfigurationError(
+            f"{model_cls.__name__} already has a live adapter registered"
+        )
+    _LIVE_ADAPTERS[model_cls] = factory
+
+
+def live_adaptable_classes() -> frozenset:
+    """Every DelayModel class that can drive a live transport."""
+    return frozenset(_LIVE_ADAPTERS)
+
+
+def adapt_schedule(model: DelayModel) -> ScheduleAdapter:
+    """The live adapter for ``model``, validating the whole schedule tree.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``model`` (or any model it composes) has no registered adapter —
+        e.g. :class:`~repro.sim.network.AdversarialDelay`, whose arbitrary
+        callables may depend on simulator state a live runtime cannot offer.
+    """
+    factory = _LIVE_ADAPTERS.get(type(model))
+    if factory is None:
+        raise ConfigurationError(
+            f"{type(model).__name__} ({model.describe()}) has no live runtime "
+            "adapter; register one with repro.runtime.chaos.register_live_adapter "
+            "to run it outside the simulator"
+        )
+    return factory(model)
+
+
+register_live_adapter(FixedDelay, _LeafAdapter)
+register_live_adapter(UniformDelay, _LeafAdapter)
+register_live_adapter(
+    PreGSTChaos, lambda m: _PreGSTAdapter(m, adapt_schedule(m.post_model))
+)
+register_live_adapter(
+    TargetedDelay, lambda m: _TargetedAdapter(m, adapt_schedule(m.base))
+)
+register_live_adapter(
+    PartitionSchedule, lambda m: _PartitionAdapter(m, adapt_schedule(m.base))
+)
+register_live_adapter(
+    IntermittentSynchrony,
+    lambda m: _IntermittentAdapter(m, adapt_schedule(m.calm), adapt_schedule(m.chaotic)),
+)
+register_live_adapter(
+    RotatingLeaderDelay, lambda m: _RotatingAdapter(m, adapt_schedule(m.base))
+)
+register_live_adapter(
+    MessageClassDelay, lambda m: _MessageClassAdapter(m, adapt_schedule(m.base))
+)
+
+
+# ----------------------------------------------------------------------
+# Injector knobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Transport injector knobs with no simulator analogue.
+
+    Drop and duplicate injectors draw from their own seeded RNG (never from
+    the schedule stream), so enabling them perturbs delivery without
+    perturbing the schedule's draws; at the default zero rates no injector
+    RNG is consumed at all and a scheduled run stays sim-exact.
+    """
+
+    #: Probability a non-self message is minted but never delivered.
+    drop_rate: float = 0.0
+    #: Probability a non-self message is delivered twice.
+    duplicate_rate: float = 0.0
+    #: Seed of the injector RNG (independent of the schedule stream).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {rate}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any injector can fire."""
+        return self.drop_rate > 0.0 or self.duplicate_rate > 0.0
+
+    def describe(self) -> str:
+        """Parameter-faithful description (folded into live cache salts)."""
+        return f"drop={self.drop_rate!r},dup={self.duplicate_rate!r},seed={self.seed}"
+
+
+# ----------------------------------------------------------------------
+# The transport decorator
+# ----------------------------------------------------------------------
+class FaultyTransport(Transport):
+    """Chaos decorator over any transport: drop, delay, duplicate, partition.
+
+    Wraps an ``inner`` transport and intercepts every ``send``:
+
+    * a ``schedule`` (an adapted sim :class:`DelayModel`) proposes each
+      non-self message's latency, floored/clamped by the partial-synchrony
+      envelope of ``network`` exactly as the simulated network does —
+      partitions, targeted DoS and traffic-class throttles all arrive this
+      way, since they are delay models over (time, topology, class);
+    * drop and duplicate injectors (see :class:`ChaosConfig` rates) fire
+      from a separate seeded RNG;
+    * everything the chaos layer does lands in ``counters``.
+
+    Delivery mechanics depend on the inner transport: transports exposing
+    ``send_with_delay`` (``LocalTransport``) get exact scheduling with
+    truthful envelope ``deliver_time``; any other transport
+    (``TcpTransport``) is approximated by holding the send itself for the
+    proposed delay — real network latency then adds on top, and dropped
+    messages are never minted (the frame never exists).  With no schedule
+    and zero rates the wrapper is transparent: ``send`` delegates verbatim.
+
+    Listener lists and message counters are shared with the inner
+    transport, so ``MetricsCollector.attach_transport`` observes a wrapped
+    transport exactly as an unwrapped one.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        schedule: Optional[ScheduleAdapter] = None,
+        network: Optional[NetworkConfig] = None,
+        schedule_seed: int = 0,
+        chaos: Optional[ChaosConfig] = None,
+        counters: Optional[FaultCounters] = None,
+    ) -> None:
+        # Deliberately no super().__init__(): counters, listener lists and
+        # message ids all belong to the inner transport — one accounting
+        # surface, whether or not the transport is wrapped.
+        if schedule is not None and network is None:
+            raise ConfigurationError(
+                "a schedule needs the NetworkConfig whose gst/delta/min_delay "
+                "envelope bounds its proposals"
+            )
+        if isinstance(schedule, DelayModel):
+            raise ConfigurationError(
+                "pass an adapted schedule (adapt_schedule(model)), not the raw "
+                "DelayModel"
+            )
+        self._inner = inner
+        self._runtime: Optional["AsyncioRuntime"] = None
+        self.send_listeners = inner.send_listeners
+        self.deliver_listeners = inner.deliver_listeners
+        self.schedule = schedule
+        self.network = network
+        self.chaos = chaos if chaos is not None else ChaosConfig()
+        self.counters = counters if counters is not None else FaultCounters()
+        self._ctx = ChaosContext(schedule_seed)
+        self._injector_rng = random.Random(self.chaos.seed)
+        self._exact_send = getattr(inner, "send_with_delay", None)
+        self._draw_delay = getattr(inner, "draw_delay", None)
+
+    # -- wiring --------------------------------------------------------
+    @property
+    def inner(self) -> Transport:
+        """The wrapped transport."""
+        return self._inner
+
+    @property
+    def transparent(self) -> bool:
+        """Whether sends delegate verbatim (no schedule, zero rates)."""
+        return self.schedule is None and not self.chaos.active
+
+    def bind(self, runtime: "AsyncioRuntime") -> None:
+        """Bind the wrapper, the inner transport and the schedule context."""
+        self._runtime = runtime
+        self._inner.bind(runtime)
+        self._ctx.bind(runtime)
+
+    def register(self, process: Any) -> None:
+        """Register on the inner transport (the delivery endpoints live there)."""
+        self._inner.register(process)
+
+    @property
+    def process_ids(self) -> Sequence[int]:
+        """The inner transport's membership."""
+        return self._inner.process_ids
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages minted (shared with the inner transport)."""
+        return self._inner.messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        """Messages delivered (shared with the inner transport)."""
+        return self._inner.messages_delivered
+
+    async def start(self) -> None:
+        """Start the inner transport's I/O."""
+        await self._inner.start()
+
+    async def stop(self) -> None:
+        """Stop the inner transport's I/O."""
+        await self._inner.stop()
+
+    # -- the injection point -------------------------------------------
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        """Shape, drop or duplicate one message on its way into ``inner``."""
+        inner = self._inner
+        if sender == recipient or self.transparent:
+            # Self-messages are immediate on every runtime (the paper's
+            # convention) and never consult schedules or injectors — the
+            # simulated network never proposes a delay for them either.
+            inner.send(sender, recipient, payload)
+            return
+        delay = self._delay_for(sender, recipient, payload)
+        chaos = self.chaos
+        dropped = (
+            chaos.drop_rate > 0.0 and self._injector_rng.random() < chaos.drop_rate
+        )
+        duplicated = (
+            chaos.duplicate_rate > 0.0
+            and self._injector_rng.random() < chaos.duplicate_rate
+        )
+        if self._exact_send is not None:
+            self._exact_send(sender, recipient, payload, delay, deliver=not dropped)
+            if duplicated:
+                self._exact_send(sender, recipient, payload, delay)
+        elif not dropped:
+            # Hold-then-forward (TCP lane): the schedule delays the *send*;
+            # real network latency adds on top.  Approximate by design.
+            self.runtime.call_after(delay, inner.send, sender, recipient, payload)
+            if duplicated:
+                self.runtime.call_after(delay, inner.send, sender, recipient, payload)
+        if dropped:
+            self.counters.bump("drops")
+        if duplicated:
+            self.counters.bump("duplicates")
+
+    def _delay_for(self, sender: int, recipient: int, payload: Any) -> float:
+        """One message's latency: schedule under the envelope, else inner's own."""
+        if self.schedule is None:
+            # Injectors over the inner transport's native latency: consume
+            # its own delay draw so accounting (and jitter streams) match an
+            # unwrapped send.
+            return self._draw_delay(sender, recipient) if self._draw_delay else 0.0
+        config = self.network
+        now = self.runtime.now
+        pending = PendingSend(sender, recipient, payload, now, now >= config.gst)
+        raw = max(config.min_delay, self.schedule.propose_delay(pending, self._ctx))
+        deadline = max(config.gst, now) + config.delta
+        delay = min(now + raw, deadline) - now
+        self.schedule.observe(pending, self.counters)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        schedule = self.schedule.describe() if self.schedule else None
+        return (
+            f"FaultyTransport(inner={type(self._inner).__name__}, "
+            f"schedule={schedule}, chaos=({self.chaos.describe()}), "
+            f"counters={self.counters!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Kill / restart
+# ----------------------------------------------------------------------
+def _validate_windows(windows: Iterable[tuple[float, Optional[float]]]) -> list:
+    windows = list(windows)
+    for crash_at, recover_at in windows:
+        if recover_at is not None and recover_at <= crash_at:
+            raise ConfigurationError(
+                f"recovery at {recover_at} does not follow crash at {crash_at}"
+            )
+    return windows
+
+
+def _kill(process: Any, counters: Optional[FaultCounters]) -> None:
+    process.crash()
+    if counters is not None:
+        counters.bump("kills")
+
+
+def _restart(process: Any, counters: Optional[FaultCounters]) -> None:
+    process.recover()
+    if counters is not None:
+        counters.bump("restarts")
+
+
+def schedule_downtime(
+    runtime: "AsyncioRuntime",
+    process: Any,
+    windows: Iterable[tuple[float, Optional[float]]],
+    counters: Optional[FaultCounters] = None,
+) -> None:
+    """Kill (and optionally restart) ``process`` on the given windows.
+
+    The live injection twin of
+    :meth:`repro.consensus.replica.Replica._schedule_downtime`: each
+    ``(crash_at, recover_at)`` window arms a :meth:`Process.crash` timer at
+    its start and — when ``recover_at`` is not ``None`` — a
+    :meth:`Process.recover` timer at its end, counting ``kills`` /
+    ``restarts`` as they fire.  Use this to impose downtime on processes
+    whose behaviour declares none.
+    """
+    for crash_at, recover_at in _validate_windows(windows):
+        runtime.set_timer_at(max(crash_at, runtime.now), _kill, process, counters)
+        if recover_at is not None:
+            runtime.set_timer_at(
+                max(recover_at, runtime.now), _restart, process, counters
+            )
+
+
+def _note_crashed(replica: Any, counters: FaultCounters) -> None:
+    if replica.crashed:
+        counters.bump("kills")
+
+
+def _note_recovered(replica: Any, counters: FaultCounters) -> None:
+    if not replica.crashed:
+        counters.bump("restarts")
+
+
+def track_downtime(
+    runtime: "AsyncioRuntime", replicas: dict[int, Any], counters: FaultCounters
+) -> None:
+    """Count behaviour-declared crash/recovery windows as they take effect.
+
+    Replicas arm their own downtime timers from
+    ``Behaviour.downtime_windows()`` (that machinery is runtime-agnostic);
+    this observer arms a sibling timer just after each one and records a
+    ``kill`` / ``restart`` only if the replica's state actually flipped —
+    the counters report what *happened*, not what was scheduled.  The small
+    wall-mode pad orders the observer after the lifecycle timer on real
+    clocks; in virtual mode same-timestamp insertion order already does.
+    """
+    pad = 0.0 if runtime.virtual else 1e-3
+    now = runtime.now
+    for pid in sorted(replicas):
+        replica = replicas[pid]
+        for crash_at, recover_at in _validate_windows(
+            replica.behaviour.downtime_windows()
+        ):
+            runtime.set_timer_at(
+                max(crash_at, now) + pad, _note_crashed, replica, counters
+            )
+            if recover_at is not None:
+                runtime.set_timer_at(
+                    max(recover_at, now) + pad, _note_recovered, replica, counters
+                )

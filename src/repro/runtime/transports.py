@@ -197,19 +197,50 @@ class LocalTransport(Transport):
         """Sorted ids of all registered processes."""
         return self._sorted_ids
 
-    def send(self, sender: int, recipient: int, payload: Any) -> None:
-        """Schedule an in-memory delivery through the runtime's timer lane."""
+    def draw_delay(self, sender: int, recipient: int) -> float:
+        """The latency this transport would apply to one message, drawn now.
+
+        Consumes one jitter draw when jitter is configured, exactly as
+        :meth:`send` would — callers that use the returned value with
+        :meth:`send_with_delay` keep the RNG stream identical to an
+        unwrapped transport.
+        """
+        if sender == recipient:
+            return 0.0
+        delay = self.delay
+        if self.jitter:
+            delay += self._rng.uniform(0.0, self.jitter)
+        return delay
+
+    def send_with_delay(
+        self,
+        sender: int,
+        recipient: int,
+        payload: Any,
+        delay: float,
+        deliver: bool = True,
+    ) -> TransportEnvelope:
+        """Send with an exact caller-imposed latency (the chaos-layer seam).
+
+        Mints the envelope (counters and send listeners fire as usual, with
+        the true ``deliver_time``) and schedules delivery ``delay`` seconds
+        out.  ``deliver=False`` mints without scheduling — the envelope was
+        sent but never arrives, which is how a drop injector keeps the
+        sender-side accounting honest.
+        """
         process = self._processes.get(recipient)
         if process is None:
             raise SimulationError(f"unknown recipient {recipient}")
-        if sender == recipient:
-            delay = 0.0
-        else:
-            delay = self.delay
-            if self.jitter:
-                delay += self._rng.uniform(0.0, self.jitter)
         envelope = self._mint(sender, recipient, payload, self.runtime.now + delay)
-        self.runtime.call_after(delay, self._delivered, envelope, process)
+        if deliver:
+            self.runtime.call_after(delay, self._delivered, envelope, process)
+        return envelope
+
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        """Schedule an in-memory delivery through the runtime's timer lane."""
+        self.send_with_delay(
+            sender, recipient, payload, self.draw_delay(sender, recipient)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,376 @@
+"""Unit tests for the chaos layer: injectors, adapters, kill/restart.
+
+Each injector is exercised on its own — seeded determinism for drop,
+delay, duplicate and partition shaping; timer-driven kill/restart
+lifecycle — plus the transparency property: a fully-disabled
+:class:`~repro.runtime.chaos.FaultyTransport` is byte-for-byte invisible
+over a :class:`~repro.runtime.transports.LocalTransport` (identical
+envelope streams, wire-encoded payloads included).  Whole-scenario
+sim-vs-live conformance lives in ``tests/test_live_faults.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig
+from repro.runner.live import build_live_scenario, run_live_scenario
+from repro.runtime import (
+    AsyncioRuntime,
+    ChaosConfig,
+    FaultCounters,
+    FaultyTransport,
+    LocalTransport,
+    adapt_schedule,
+    register_live_adapter,
+    schedule_downtime,
+)
+from repro.runtime.chaos import BASE_FAULT_COUNTS, ScheduleAdapter
+from repro.runtime.codec import default_binary_codec
+from repro.faults.schedules import PartitionSchedule
+from repro.sim.network import AdversarialDelay, DelayModel, FixedDelay, UniformDelay
+
+
+def _scenario(seed: int = 0, **overrides) -> ScenarioConfig:
+    defaults = dict(
+        n=4,
+        pacemaker="lumiere",
+        delta=1.0,
+        actual_delay=0.1,
+        gst=0.0,
+        duration=20.0,
+        seed=seed,
+        record_trace=False,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def _run_built(config, transport=None):
+    """Build, record every envelope's metadata, run to duration.
+
+    Payload bytes are excluded here (each build generates fresh signing
+    keys, so two runs' wire bytes legitimately differ); the byte-for-byte
+    comparison happens in the lockstep transport-level test below, where
+    the payloads are under test control.
+    """
+    result = build_live_scenario(config, transport=transport)
+
+    def recorder(log):
+        def listener(env):
+            log.append(
+                (
+                    env.msg_id,
+                    env.sender,
+                    env.recipient,
+                    env.send_time,
+                    env.deliver_time,
+                    type(env.payload).__name__,
+                )
+            )
+
+        return listener
+
+    sent: list = []
+    delivered: list = []
+    result.transport.send_listeners.append(recorder(sent))
+    result.transport.deliver_listeners.append(recorder(delivered))
+    for pid in sorted(result.replicas):
+        result.replicas[pid].start()
+    result.runtime.run_sync(until=config.duration)
+    return result, sent, delivered
+
+
+def _signature(result):
+    return (
+        [(d.view, d.leader, d.time) for d in result.metrics.decisions],
+        {pid: r.ledger.block_ids for pid, r in result.replicas.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Transparency: disabled chaos is byte-for-byte invisible
+# ----------------------------------------------------------------------
+class _Sink:
+    """A registered endpoint that logs exactly what it receives, when."""
+
+    def __init__(self, pid, runtime, log):
+        self.pid = pid
+        self._runtime = runtime
+        self._log = log
+
+    def deliver(self, payload, sender):
+        self._log.append((self._runtime.now, self.pid, sender, payload))
+
+
+def _drive_script(transport):
+    """Run a fixed send script on ``transport``; return all observables.
+
+    The payloads are caller-controlled bytes, so the comparison between a
+    bare and a wrapped transport is literally byte-for-byte: same envelope
+    stream (ids, timings, payload bytes), same deliveries, same wire frames
+    under the binary codec.
+    """
+    runtime = AsyncioRuntime(transport, seed=0)
+    codec = default_binary_codec()
+    received: list = []
+    sent: list = []
+    delivered: list = []
+    for pid in range(4):
+        transport.register(_Sink(pid, runtime, received))
+
+    def record(log):
+        return lambda env: log.append(
+            (
+                env.msg_id,
+                env.sender,
+                env.recipient,
+                env.send_time,
+                env.deliver_time,
+                env.payload,
+                codec.encode_frame(env.sender, env.payload),
+            )
+        )
+
+    transport.send_listeners.append(record(sent))
+    transport.deliver_listeners.append(record(delivered))
+
+    def script():
+        transport.send(0, 1, b"unicast")
+        transport.send(2, 2, b"self-message")
+        transport.broadcast(3, b"fanout")
+
+    runtime.set_timer_at(0.5, script)
+    runtime.set_timer_at(2.0, transport.send, 1, 0, b"late reply")
+    runtime.run_sync(until=5.0)
+    return sent, delivered, received
+
+
+def test_disabled_faulty_transport_is_byte_for_byte_transparent():
+    bare = _drive_script(LocalTransport(delay=0.1, jitter=0.3, seed=5))
+    wrapper = FaultyTransport(LocalTransport(delay=0.1, jitter=0.3, seed=5))
+    assert wrapper.transparent
+    wrapped = _drive_script(wrapper)
+    # Identical envelope streams — payload bytes and wire frames included —
+    # identical deliveries at identical times, even through the seeded
+    # jitter draws of the inner transport.
+    assert wrapped == bare
+    assert bare[0]  # the script really sent something
+
+
+def test_disabled_faulty_transport_is_transparent_in_a_full_run():
+    config = _scenario(0)
+    bare, bare_sent, bare_delivered = _run_built(config)
+    wrapped_transport = FaultyTransport(
+        LocalTransport(delay=config.actual_delay, jitter=0.0, seed=config.seed)
+    )
+    assert wrapped_transport.transparent
+    wrapped, wrapped_sent, wrapped_delivered = _run_built(
+        config, transport=wrapped_transport
+    )
+
+    assert bare_sent and bare_delivered
+    assert wrapped_sent == bare_sent
+    assert wrapped_delivered == bare_delivered
+    assert _signature(wrapped) == _signature(bare)
+    assert wrapped.transport.messages_sent == bare.transport.messages_sent
+    assert wrapped.transport.messages_delivered == bare.transport.messages_delivered
+    # No fault ever fired (build attaches no counters to a transparent run).
+    assert wrapped.fault_counts == {}
+
+
+def test_transparent_with_jitter_preserves_the_jitter_stream():
+    # The wrapper delegates verbatim, so even the seeded jitter draws of the
+    # inner transport land identically.
+    config = _scenario(1, duration=10.0)
+    bare = run_live_scenario(config, jitter=0.25)
+    wrapped_transport = FaultyTransport(
+        LocalTransport(delay=config.actual_delay, jitter=0.25, seed=config.seed)
+    )
+    wrapped, _, _ = _run_built(config, transport=wrapped_transport)
+    assert _signature(wrapped) == _signature(bare)
+
+
+# ----------------------------------------------------------------------
+# Drop / duplicate injectors: seeded determinism
+# ----------------------------------------------------------------------
+def test_drop_injector_is_deterministic_and_counted():
+    config = _scenario(0)
+    chaos = ChaosConfig(drop_rate=0.1, seed=7)
+    first = run_live_scenario(config, chaos=chaos)
+    second = run_live_scenario(config, chaos=chaos)
+
+    assert first.fault_counts["drops"] > 0
+    assert first.fault_counts == second.fault_counts
+    assert _signature(first) == _signature(second)
+    # Dropped messages are minted but never delivered: honest accounting.
+    gap = first.transport.messages_sent - first.transport.messages_delivered
+    assert gap >= first.fault_counts["drops"]
+    assert first.ledgers_are_consistent() and second.ledgers_are_consistent()
+
+    clean = run_live_scenario(config)
+    assert _signature(first) != _signature(clean)
+
+
+def test_duplicate_injector_is_deterministic_and_counted():
+    config = _scenario(0)
+    chaos = ChaosConfig(duplicate_rate=0.15, seed=3)
+    first = run_live_scenario(config, chaos=chaos)
+    second = run_live_scenario(config, chaos=chaos)
+
+    assert first.fault_counts["duplicates"] > 0
+    assert first.fault_counts == second.fault_counts
+    assert _signature(first) == _signature(second)
+    # Consensus shrugs duplicates off: safety holds, progress continues.
+    assert first.committed_blocks() > 0
+    assert first.ledgers_are_consistent()
+
+
+def test_distinct_injector_seeds_give_distinct_fault_patterns():
+    config = _scenario(0)
+    a = run_live_scenario(config, chaos=ChaosConfig(drop_rate=0.1, seed=1))
+    b = run_live_scenario(config, chaos=ChaosConfig(drop_rate=0.1, seed=2))
+    # Same rate, different streams: overwhelmingly different drop sets.
+    assert a.fault_counts != b.fault_counts or _signature(a) != _signature(b)
+
+
+def test_chaos_config_validates_rates():
+    with pytest.raises(ConfigurationError):
+        ChaosConfig(drop_rate=1.0)
+    with pytest.raises(ConfigurationError):
+        ChaosConfig(duplicate_rate=-0.1)
+    assert not ChaosConfig().active
+    assert ChaosConfig(drop_rate=0.5).active
+
+
+# ----------------------------------------------------------------------
+# Delay schedules: seeded determinism under the envelope
+# ----------------------------------------------------------------------
+def test_scheduled_delay_is_deterministic_per_seed():
+    model = UniformDelay(0.05, 0.4)
+    base = _scenario(0, gst=2.0, duration=15.0)
+    base.delay_model = model
+    first = run_live_scenario(base)
+
+    again = _scenario(0, gst=2.0, duration=15.0)
+    again.delay_model = UniformDelay(0.05, 0.4)
+    second = run_live_scenario(again)
+    assert _signature(first) == _signature(second)
+
+    other = _scenario(1, gst=2.0, duration=15.0)
+    other.delay_model = UniformDelay(0.05, 0.4)
+    third = run_live_scenario(other)
+    assert _signature(first) != _signature(third)
+
+
+def test_partition_schedule_is_deterministic_and_counts_epochs():
+    def config_for(seed):
+        cfg = _scenario(seed, gst=5.0, duration=20.0)
+        cfg.delay_model = PartitionSchedule(
+            base=FixedDelay(0.1),
+            groups=[(0, 1), (2, 3)],
+            split_at=1.0,
+            heal_at=5.0,
+        )
+        return cfg
+
+    first = run_live_scenario(config_for(0))
+    second = run_live_scenario(config_for(0))
+    assert _signature(first) == _signature(second)
+    assert first.fault_counts["partition_epochs"] == 1
+    assert first.fault_counts["partitioned_messages"] > 0
+    assert first.fault_counts == second.fault_counts
+    assert first.ledgers_are_consistent()
+    assert first.committed_blocks() > 0
+
+
+# ----------------------------------------------------------------------
+# Kill / restart lifecycle
+# ----------------------------------------------------------------------
+class _FakeProcess:
+    def __init__(self):
+        self.crashed = False
+        self.transitions: list[tuple[str, float]] = []
+        self.clock = None
+
+    def crash(self):
+        self.crashed = True
+        self.transitions.append(("crash", self.clock()))
+
+    def recover(self):
+        self.crashed = False
+        self.transitions.append(("recover", self.clock()))
+
+
+def test_schedule_downtime_kills_and_restarts_on_schedule():
+    transport = LocalTransport()
+    runtime = AsyncioRuntime(transport, seed=0)
+    process = _FakeProcess()
+    process.clock = lambda: runtime.now
+    counters = FaultCounters()
+    schedule_downtime(
+        runtime, process, [(2.0, 5.0), (8.0, None)], counters=counters
+    )
+    runtime.run_sync(until=10.0)
+
+    assert process.transitions == [("crash", 2.0), ("recover", 5.0), ("crash", 8.0)]
+    assert process.crashed  # the second window never recovers
+    assert counters.as_dict()["kills"] == 2
+    assert counters.as_dict()["restarts"] == 1
+
+
+def test_schedule_downtime_rejects_inverted_windows():
+    transport = LocalTransport()
+    runtime = AsyncioRuntime(transport, seed=0)
+    with pytest.raises(ConfigurationError):
+        schedule_downtime(runtime, _FakeProcess(), [(5.0, 2.0)])
+
+
+# ----------------------------------------------------------------------
+# Construction and adapter validation
+# ----------------------------------------------------------------------
+def test_faulty_transport_rejects_raw_delay_models_and_missing_network():
+    inner = LocalTransport()
+    with pytest.raises(ConfigurationError):
+        FaultyTransport(inner, schedule=FixedDelay(0.1), network=None)
+    with pytest.raises(ConfigurationError):
+        FaultyTransport(inner, schedule=adapt_schedule(FixedDelay(0.1)))
+
+
+def test_adversarial_delay_has_no_live_adapter():
+    model = AdversarialDelay(lambda pending, sim: 0.1, name="custom")
+    with pytest.raises(ConfigurationError, match="AdversarialDelay"):
+        adapt_schedule(model)
+
+
+def test_adapt_schedule_validates_whole_trees():
+    nested = PartitionSchedule(
+        base=AdversarialDelay(lambda pending, sim: 0.1),
+        groups=[(0, 1), (2, 3)],
+        split_at=1.0,
+        heal_at=2.0,
+    )
+    with pytest.raises(ConfigurationError, match="AdversarialDelay"):
+        adapt_schedule(nested)
+
+
+def test_register_live_adapter_rejects_double_registration():
+    with pytest.raises(ConfigurationError, match="already has a live adapter"):
+        register_live_adapter(FixedDelay, ScheduleAdapter)
+
+
+def test_explicit_transport_with_delay_model_is_rejected():
+    config = _scenario(0)
+    config.delay_model = FixedDelay(0.1)
+    with pytest.raises(ConfigurationError):
+        build_live_scenario(config, transport=LocalTransport())
+
+
+def test_fault_counters_base_names_and_epoch_idempotence():
+    counters = FaultCounters()
+    assert set(BASE_FAULT_COUNTS) <= set(counters.as_dict())
+    counters.note_epoch("partition_epochs", ("a",))
+    counters.note_epoch("partition_epochs", ("a",))
+    counters.note_epoch("partition_epochs", ("b",))
+    assert counters.as_dict()["partition_epochs"] == 2

@@ -385,3 +385,64 @@ def test_campaign_sweeps_eight_named_scenarios():
     assert all(record.decisions > 0 for record in result)
     # Run ids carry the scenario name, so reports and caches line up.
     assert any("scenario=silent_spread" in record.run_id for record in result)
+
+
+# ----------------------------------------------------------------------
+# Live-adapter registry coverage (the chaos layer's drift guard)
+# ----------------------------------------------------------------------
+def _library_delay_model_classes():
+    """Every concrete DelayModel class the library itself defines."""
+    from repro.sim.network import DelayModel
+
+    seen = set()
+
+    def walk(cls):
+        for sub in cls.__subclasses__():
+            if sub not in seen:
+                seen.add(sub)
+                walk(sub)
+
+    walk(DelayModel)
+    # Tests may define their own throwaway subclasses; the guard is about
+    # what ships in repro.* (mirrors the wire-codec zoo guard).
+    return {cls for cls in seen if cls.__module__.startswith("repro.")}
+
+
+def test_every_library_delay_model_has_a_live_adapter():
+    # A new schedule class without a registered live adapter fails here:
+    # either register one (repro.runtime.chaos.register_live_adapter) or
+    # add it to the explicit exemption set with a reason.
+    from repro.runtime.chaos import live_adaptable_classes
+    from repro.sim.network import AdversarialDelay
+
+    library = _library_delay_model_classes()
+    adaptable = set(live_adaptable_classes())
+    # AdversarialDelay wraps arbitrary callables that may close over
+    # simulator state no live runtime can provide; it is sim-only by design.
+    exempt = {AdversarialDelay}
+    missing = sorted(cls.__name__ for cls in library - adaptable - exempt)
+    assert not missing, (
+        f"DelayModel classes with no live runtime adapter: {missing}; "
+        "register one with repro.runtime.chaos.register_live_adapter"
+    )
+    stale = sorted(cls.__name__ for cls in adaptable - library)
+    assert not stale, f"live adapters registered for unknown classes: {stale}"
+    assert not (exempt & adaptable)
+
+
+def test_every_named_scenario_adapts_for_live_runs():
+    # Every registry entry must run under Campaign.run(backend="live"):
+    # its built delay model (when it has one) must adapt cleanly, keeping
+    # the model's own parameter-faithful description.
+    from repro.runtime.chaos import adapt_schedule
+
+    config = ScenarioConfig(n=4, delta=1.0, actual_delay=0.1, gst=10.0, duration=60.0)
+    adapted = 0
+    for name in available_scenarios():
+        delay_model, _ = get_scenario(name).build(config, {})
+        if delay_model is None:
+            continue  # corruption-only: runs live on a plain transport
+        adapter = adapt_schedule(delay_model)
+        assert adapter.describe() == delay_model.describe()
+        adapted += 1
+    assert adapted >= 8  # the delay-model scenarios shipped today

@@ -14,9 +14,13 @@ clock behind the :class:`~repro.runtime.base.Clock` seam.
 Run with:  python examples/live_cluster.py
            python examples/live_cluster.py --n 4 --blocks 20 --timeout 30
            python examples/live_cluster.py --codec json   # JSON wire format
+           python examples/live_cluster.py --procs 4      # one OS process per node
 
-Exits non-zero if the cluster fails to commit the target within the
-timeout (the CI live-smoke job relies on this).
+``--procs`` switches to process placement: the nodes boot in spawned OS
+processes (``--procs N`` workers; ``--procs 0`` means one per node) with
+the parent coordinating over control pipes — the multicore deployment
+shape.  Exits non-zero if the cluster fails to commit the target within
+the timeout (the CI live-smoke job relies on this).
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import sys
 import time
 
 from repro.experiments import ScenarioConfig
-from repro.runner import TcpCluster
+from repro.runner import make_live_cluster
 from repro.runtime import available_codecs
 
 
@@ -40,28 +44,43 @@ async def run_cluster(args: argparse.Namespace) -> int:
         seed=0,
         record_trace=False,
     )
-    cluster = TcpCluster(config, codec=args.codec)
+    placement = "inline" if args.procs is None else "process"
+    processes = None if args.procs in (None, 0) else args.procs
+    cluster = make_live_cluster(
+        config, placement=placement, codec=args.codec, processes=processes
+    )
     print(
         f"booting n={args.n} {args.pacemaker} cluster over TCP on localhost "
-        f"({args.codec} codec)..."
+        f"({args.codec} codec, {placement} placement)..."
     )
     started = time.monotonic()
     await cluster.start()
-    addresses = {pid: node.transport.address for pid, node in sorted(cluster.nodes.items())}
-    for pid, (host, port) in addresses.items():
-        print(f"  node {pid}: listening on {host}:{port}")
+    if placement == "inline":
+        addresses = {pid: node.transport.address for pid, node in sorted(cluster.nodes.items())}
+        for pid, (host, port) in addresses.items():
+            print(f"  node {pid}: listening on {host}:{port}")
+    else:
+        for worker in cluster._workers:
+            print(f"  worker {worker.index}: hosting nodes {list(worker.pids)}")
+    run_started = time.monotonic()
 
     commits = await cluster.run_until_commits(args.blocks, timeout=args.timeout)
-    elapsed = time.monotonic() - started
+    now = time.monotonic()
+    elapsed, run_elapsed = now - started, now - run_started
+    await cluster.stop()
     consistent = cluster.ledgers_are_consistent()
     decisions = len(cluster.metrics.honest_decisions())
-    sent = sum(node.transport.messages_sent for node in cluster.nodes.values())
-    await cluster.stop()
+    if placement == "inline":
+        sent = sum(node.transport.messages_sent for node in cluster.nodes.values())
+        commits_total = sum(len(node.replica.ledger) for node in cluster.nodes.values())
+    else:
+        sent = cluster.messages_sent
+        commits_total = sum(len(ids) for ids in cluster.ledger_ids.values())
 
     print()
     print(
         f"live cluster run (n={args.n}, {args.pacemaker}, Delta={args.delta}s, "
-        f"{args.codec} codec)"
+        f"{args.codec} codec, {placement} placement)"
     )
     print("-" * 48)
     print(f"blocks committed (every node)  : {commits}")
@@ -69,8 +88,14 @@ async def run_cluster(args: argparse.Namespace) -> int:
     print(f"messages on the wire           : {sent}")
     print(f"wall-clock time                : {elapsed:.2f}s")
     if commits:
-        print(f"throughput                     : {commits / elapsed:.1f} blocks/s")
+        print(f"throughput                     : {commits / run_elapsed:.1f} blocks/s")
+        print(
+            f"aggregate commit throughput    : {commits_total / run_elapsed:.1f} "
+            f"ledger entries/s across {args.n} nodes"
+        )
     print(f"ledgers consistent             : {consistent}")
+    if cluster.teardown_errors:
+        print(f"teardown errors                : {cluster.teardown_errors}")
 
     if commits < args.blocks:
         print(f"FAILED: only {commits}/{args.blocks} blocks within {args.timeout}s",
@@ -96,6 +121,9 @@ def main() -> int:
                         help="view-synchronisation protocol (default lumiere)")
     parser.add_argument("--codec", default="binary", choices=available_codecs(),
                         help="wire format for TCP frames (default binary)")
+    parser.add_argument("--procs", type=int, default=None, metavar="N",
+                        help="process placement: spawn N node-hosting OS "
+                             "processes (0 = one per node); omit for inline")
     args = parser.parse_args()
     return asyncio.run(run_cluster(args))
 

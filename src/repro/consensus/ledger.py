@@ -69,7 +69,18 @@ class Ledger:
 
 def ledgers_consistent(ledgers: Iterable[Ledger]) -> bool:
     """Whether every pair of ledgers is prefix-consistent (the safety property)."""
-    sequences = [ledger.block_ids for ledger in ledgers]
+    return sequences_consistent(ledger.block_ids for ledger in ledgers)
+
+
+def sequences_consistent(id_sequences: Iterable[Sequence[str]]) -> bool:
+    """Prefix-consistency over bare block-id sequences.
+
+    The ledger-free form of :func:`ledgers_consistent`, for callers that
+    hold only the committed id lists — a multi-process cluster's coordinator
+    checks safety over the id sequences its node processes shipped back,
+    without ever holding the ledgers themselves.
+    """
+    sequences = [list(seq) for seq in id_sequences]
     for i, seq_a in enumerate(sequences):
         for seq_b in sequences[i + 1 :]:
             shorter, longer = (seq_a, seq_b) if len(seq_a) <= len(seq_b) else (seq_b, seq_a)

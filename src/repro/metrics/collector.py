@@ -111,6 +111,12 @@ class MetricsCollector:
         self._payload_digests: set[str] = set()
         # Injected-fault totals of a chaotic live run (None outside chaos).
         self._fault_counters = None
+        # Transports whose frames_dropped counter folds into fault_counts
+        # (TCP transports register through attach_transport).
+        self._drop_sources: list = []
+        # Static fault totals adopted from merged snapshots (multi-process
+        # clusters sum their shards' counters into one collector).
+        self._extra_fault_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -132,8 +138,19 @@ class MetricsCollector:
         identical hot path, with times being whatever the run's
         :class:`~repro.runtime.base.Clock` reports (monotonic seconds since
         cluster start for live clusters, virtual seconds under replay).
+
+        Transports that can lose frames (``TcpTransport``, directly or
+        under a chaos wrapper) are also registered as *drop sources*: their
+        ``frames_dropped`` counters fold into :attr:`fault_counts`, so a
+        writer that died holding unsent frames always leaves a trace in the
+        run's :class:`~repro.metrics.summary.RunMetrics`.
         """
         self.attach_network(transport)
+        source = transport
+        if not hasattr(source, "frames_dropped"):
+            source = getattr(transport, "inner", None)
+        if source is not None and hasattr(source, "frames_dropped"):
+            self._drop_sources.append(source)
 
     def attach_fault_counters(self, counters) -> None:
         """Adopt a chaos layer's :class:`~repro.runtime.chaos.FaultCounters`.
@@ -144,12 +161,36 @@ class MetricsCollector:
         """
         self._fault_counters = counters
 
+    def add_fault_counts(self, counts: dict[str, int]) -> None:
+        """Fold static fault totals into this collector (merge path).
+
+        Unlike :meth:`attach_fault_counters` — live shared state, snapshotted
+        on access — these are fixed numbers: the already-final totals of a
+        finished shard, summed in when a multi-process cluster merges its
+        children's snapshots.
+        """
+        for name, count in counts.items():
+            self._extra_fault_counts[name] = (
+                self._extra_fault_counts.get(name, 0) + count
+            )
+
     @property
     def fault_counts(self) -> dict[str, int]:
-        """Injected-fault totals by name (empty outside chaotic runs)."""
-        if self._fault_counters is None:
-            return {}
-        return self._fault_counters.as_dict()
+        """Injected-fault totals by name (empty outside chaotic/TCP runs).
+
+        The union of the chaos layer's live counters, any statically merged
+        totals (:meth:`add_fault_counts`) and the ``frames_dropped``
+        counters of attached drop-source transports.
+        """
+        counts = dict(self._extra_fault_counts)
+        if self._fault_counters is not None:
+            for name, count in self._fault_counters.as_dict().items():
+                counts[name] = counts.get(name, 0) + count
+        if self._drop_sources:
+            counts["frames_dropped"] = counts.get("frames_dropped", 0) + sum(
+                source.frames_dropped for source in self._drop_sources
+            )
+        return counts
 
     # ------------------------------------------------------------------
     # Recording
@@ -392,3 +433,113 @@ class MetricsCollector:
             for i in range(len(self._commit_times))
             if self._commit_pids[i] == pid
         ]
+
+    # ------------------------------------------------------------------
+    # Cross-process snapshot / merge
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Picklable snapshot of everything this collector recorded.
+
+        The shard half of the multi-process metrics story: each node process
+        of a :class:`~repro.runner.process_cluster.ProcessCluster` ships its
+        collector's state over the control channel at shutdown, and the
+        coordinator rebuilds one cluster-wide collector with
+        :func:`merge_metrics_states`.  ``array`` columns pickle natively;
+        live references (fault counters, drop-source transports) are
+        snapshotted into plain numbers.
+        """
+        return {
+            "honest_ids": sorted(self.honest_ids),
+            "message_times": self._message_times,
+            "message_senders": self._message_senders,
+            "message_recipients": self._message_recipients,
+            "message_kind_ids": self._message_kind_ids,
+            "kind_names": list(self._kind_names),
+            "decision_times": self._decision_times,
+            "decision_views": self._decision_views,
+            "decision_leaders": self._decision_leaders,
+            "commit_times": self._commit_times,
+            "commit_pids": self._commit_pids,
+            "commit_views": self._commit_views,
+            "commit_block_ids": list(self._commit_block_ids),
+            "view_entries": {pid: list(entries) for pid, entries in self.view_entries.items()},
+            "epoch_syncs": list(self.epoch_syncs),
+            "qc_count": self.qc_count,
+            "payload_digests": set(self._payload_digests),
+            "fault_counts": self.fault_counts,
+        }
+
+
+def merge_metrics_states(states: Iterable[dict]) -> "MetricsCollector":
+    """Rebuild one :class:`MetricsCollector` from shard :meth:`~MetricsCollector.state` snapshots.
+
+    Every time-keyed stream (messages, decisions, commits, epoch syncs) is
+    merge-sorted onto one timeline — the shards of a multi-process cluster
+    share a monotonic clock origin, so their timestamps are directly
+    comparable — and the re-interleaved rows are replayed through the
+    ordinary recording methods.  The sorted-column invariants (bisectable
+    message times, the honest-decision index) therefore hold on the merged
+    collector exactly as they do on a single-process one, and every query
+    answers cluster-wide.
+    """
+    import heapq
+
+    states = list(states)
+    merged = MetricsCollector()
+    merged.set_honest(set().union(*(set(s["honest_ids"]) for s in states)) if states else set())
+
+    def message_rows(s: dict):
+        kind_names = s["kind_names"]
+        return (
+            (time, sender, recipient, kind_names[kind_id])
+            for time, sender, recipient, kind_id in zip(
+                s["message_times"], s["message_senders"],
+                s["message_recipients"], s["message_kind_ids"],
+            )
+        )
+
+    for time, sender, recipient, kind in heapq.merge(
+        *(message_rows(s) for s in states), key=lambda row: row[0]
+    ):
+        kind_id = merged._kind_ids.get(kind)
+        if kind_id is None:
+            kind_id = len(merged._kind_names)
+            merged._kind_ids[kind] = kind_id
+            merged._kind_names.append(kind)
+        merged._message_times.append(time)
+        merged._message_senders.append(sender)
+        merged._message_recipients.append(recipient)
+        merged._message_kind_ids.append(kind_id)
+
+    decisions = sorted(
+        (time, view, leader)
+        for s in states
+        for time, view, leader in zip(
+            s["decision_times"], s["decision_views"], s["decision_leaders"]
+        )
+    )
+    for time, view, leader in decisions:
+        merged.record_decision(time, view, leader)
+
+    commits = sorted(
+        (time, pid, view, block_id)
+        for s in states
+        for time, pid, view, block_id in zip(
+            s["commit_times"], s["commit_pids"], s["commit_views"], s["commit_block_ids"]
+        )
+    )
+    for time, pid, view, block_id in commits:
+        merged.record_commit(pid, view, block_id, time)
+
+    for s in states:
+        for pid, entries in s["view_entries"].items():
+            merged.view_entries.setdefault(pid, []).extend(entries)
+        merged.qc_count += s["qc_count"]
+        merged._payload_digests |= s["payload_digests"]
+        merged.add_fault_counts(s["fault_counts"])
+    for entries in merged.view_entries.values():
+        entries.sort()
+    merged.epoch_syncs = sorted(
+        (time, pid, epoch) for s in states for time, pid, epoch in s["epoch_syncs"]
+    )
+    return merged

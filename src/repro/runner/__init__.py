@@ -42,18 +42,25 @@ _LIVE_EXPORTS = frozenset(
         "TcpCluster",
         "build_live_scenario",
         "execute_live_cell",
+        "make_live_cluster",
         "run_live_scenario",
         "run_live_scenario_async",
+        "run_process_scenario",
+        "run_process_scenario_async",
     }
 )
 
+#: Likewise for the multi-process cluster (it additionally pulls
+#: multiprocessing machinery nothing else needs).
+_PROCESS_EXPORTS = frozenset({"ProcessCluster", "ShardReport"})
+
 
 def __getattr__(name: str):
-    if name in _LIVE_EXPORTS:
+    if name in _LIVE_EXPORTS or name in _PROCESS_EXPORTS:
         import importlib
 
-        live = importlib.import_module("repro.runner.live")
-        value = getattr(live, name)
+        module = "live" if name in _LIVE_EXPORTS else "process_cluster"
+        value = getattr(importlib.import_module(f"repro.runner.{module}"), name)
         globals()[name] = value  # cache: __getattr__ runs once per name
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -66,17 +73,22 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "LiveExecutor",
     "LiveRunResult",
+    "ProcessCluster",
     "ResultCache",
     "RunRecord",
     "RunSpec",
+    "ShardReport",
     "Sweep",
     "TcpCluster",
     "build_live_scenario",
     "config_fingerprint",
     "execute_cell",
     "execute_live_cell",
+    "make_live_cluster",
     "run_campaign",
     "run_live_scenario",
     "run_live_scenario_async",
+    "run_process_scenario",
+    "run_process_scenario_async",
     "spec_key",
 ]

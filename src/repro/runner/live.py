@@ -164,6 +164,13 @@ class LiveRunResult:
     :class:`~repro.experiments.scenario.ScenarioResult`: same summaries and
     safety helpers, with the runtime and transport in place of the
     simulator and network.
+
+    Multi-process runs (:class:`~repro.runner.process_cluster.ProcessCluster`)
+    produce the same result type from merged shard reports: there the
+    coordinator holds no replicas, runtime or transport (they lived and died
+    in the node processes), so ``replicas`` is empty, ``runtime`` and
+    ``transport`` are ``None``, and the ledger/event accessors answer from
+    ``ledger_block_ids`` / ``events`` instead.
     """
 
     config: ScenarioConfig
@@ -172,9 +179,14 @@ class LiveRunResult:
     trace: TraceRecorder
     replicas: dict[int, Replica]
     corruption: CorruptionPlan
-    runtime: AsyncioRuntime
-    transport: Transport
+    runtime: Optional[AsyncioRuntime]
+    transport: Optional[Transport]
     crypto_backend: Optional[CryptoBackend] = None
+    #: Committed block ids per pid, for results whose ledgers lived in other
+    #: OS processes (``None`` whenever ``replicas`` is populated).
+    ledger_block_ids: Optional[dict[int, tuple[str, ...]]] = None
+    #: Runtime-event total for results without a local runtime.
+    events: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Summaries
@@ -200,12 +212,26 @@ class LiveRunResult:
     # ------------------------------------------------------------------
     @property
     def honest_replicas(self) -> list[Replica]:
-        """Replicas that were never corrupted."""
+        """Replicas that were never corrupted (empty for multi-process runs)."""
         return [r for pid, r in sorted(self.replicas.items()) if pid in self.corruption.honest_ids]
+
+    def _honest_ledger_ids(self) -> list[list[str]]:
+        """Honest committed-id sequences, from replicas or shipped ids."""
+        if self.replicas:
+            return [replica.ledger.block_ids for replica in self.honest_replicas]
+        if self.ledger_block_ids is None:
+            return []
+        return [
+            list(ids)
+            for pid, ids in sorted(self.ledger_block_ids.items())
+            if pid in self.corruption.honest_ids
+        ]
 
     def ledgers_are_consistent(self) -> bool:
         """Safety: honest ledgers are pairwise prefix-consistent."""
-        return ledgers_consistent([replica.ledger for replica in self.honest_replicas])
+        from repro.consensus.ledger import sequences_consistent
+
+        return sequences_consistent(self._honest_ledger_ids())
 
     def honest_decisions(self) -> int:
         """Number of QCs produced by honest leaders during the run."""
@@ -213,7 +239,7 @@ class LiveRunResult:
 
     def committed_blocks(self) -> int:
         """Length of the longest honest ledger."""
-        lengths = [len(replica.ledger) for replica in self.honest_replicas]
+        lengths = [len(ids) for ids in self._honest_ledger_ids()]
         return max(lengths) if lengths else 0
 
     def max_honest_view(self) -> int:
@@ -226,9 +252,20 @@ class LiveRunResult:
         """Injected-fault totals by name (empty for fault-free runs)."""
         return self.metrics.fault_counts
 
+    @property
+    def events_processed(self) -> int:
+        """Runtime events handled during the run (summed across node
+        processes for multi-process results)."""
+        if self.runtime is not None:
+            return self.runtime.events_processed
+        return self.events or 0
+
     def describe(self) -> str:
         """One-line run description for reports."""
-        mode = "virtual" if self.runtime.virtual else "wall"
+        if self.runtime is None:
+            mode = "process"
+        else:
+            mode = "virtual" if self.runtime.virtual else "wall"
         return (
             f"live[{mode}] {self.config.pacemaker} n={self.config.n} "
             f"decisions={self.honest_decisions()} commits={self.committed_blocks()} "
@@ -420,17 +457,28 @@ class TcpCluster:
         config: ScenarioConfig,
         host: str = "127.0.0.1",
         codec: Union[WireCodec, str, None] = None,
+        connect_timeout: float = 10.0,
+        coalesce_writes: bool = True,
     ) -> None:
         self.config = config
         self.host = host
         self.codec = codec
+        self.connect_timeout = connect_timeout
+        self.coalesce_writes = coalesce_writes
         self.clock = MonotonicClock()
         self.nodes: dict[int, TcpNode] = {}
         self.metrics = MetricsCollector()
         #: Shared injected-fault totals across all nodes (``None`` until a
         #: chaotic cluster has started).
         self.fault_counters: Optional[FaultCounters] = None
+        #: Transport errors surfaced at :meth:`stop` (per-node
+        #: ``TcpTransport.last_errors``, prefixed with the node id).
+        self.teardown_errors: list[str] = []
+        #: Total frames lost to exhausted connect windows, cluster-wide
+        #: (aggregated at :meth:`stop`; live totals are on the transports).
+        self.frames_dropped = 0
         self._started = False
+        self._torn_down = False
         self._stack: Optional[tuple] = None
 
     async def start(self) -> None:
@@ -454,7 +502,13 @@ class TcpCluster:
         chaotic = delay_model is not None or self.config.scenario is not None
         counters = FaultCounters() if chaotic else None
         tcp_transports = {
-            pid: TcpTransport(pid, host=self.host, codec=self.codec)
+            pid: TcpTransport(
+                pid,
+                host=self.host,
+                codec=self.codec,
+                connect_timeout=self.connect_timeout,
+                coalesce_writes=self.coalesce_writes,
+            )
             for pid in protocol_config.processor_ids
         }
         addresses = {}
@@ -536,8 +590,24 @@ class TcpCluster:
         )
 
     async def stop(self) -> None:
-        """Shut every node down (concurrently, so EOFs propagate cleanly)."""
+        """Shut every node down (concurrently, so EOFs propagate cleanly).
+
+        Teardown surfaces rather than swallows: each transport's
+        ``last_errors`` are folded into :attr:`teardown_errors` and its
+        ``frames_dropped`` into the cluster total, so a writer that died
+        holding frames or a pump that crashed mid-run is visible here (and
+        in the run's fault counts) instead of vanishing with the tasks.
+        """
         await asyncio.gather(*(node.runtime.stop() for node in self.nodes.values()))
+        if self._torn_down:
+            return  # idempotent: don't double-count a second stop()
+        self._torn_down = True
+        for pid, node in sorted(self.nodes.items()):
+            base = getattr(node.transport, "inner", node.transport)
+            self.frames_dropped += base.frames_dropped
+            self.teardown_errors.extend(
+                f"node {pid}: {error}" for error in base.last_errors
+            )
 
     async def run_until_commits(
         self, blocks: int, timeout: float, poll: float = 0.02
@@ -548,6 +618,105 @@ class TcpCluster:
             timeout, stop_when=lambda c: c.min_committed() >= blocks, poll=poll
         )
         return self.min_committed()
+
+
+# ----------------------------------------------------------------------
+# Placement: inline (one process) vs process (one OS process per node)
+# ----------------------------------------------------------------------
+#: Valid ``placement`` values for live TCP clusters.
+PLACEMENTS = ("inline", "process")
+
+
+def make_live_cluster(
+    config: ScenarioConfig,
+    placement: str = "inline",
+    host: str = "127.0.0.1",
+    codec: Union[WireCodec, str, None] = None,
+    processes: Optional[int] = None,
+    connect_timeout: float = 10.0,
+    coalesce_writes: bool = True,
+    **kwargs: Any,
+):
+    """Build a live TCP cluster with the requested process placement.
+
+    ``placement="inline"`` returns a :class:`TcpCluster` — every node in
+    the calling process, one event loop, real sockets.
+    ``placement="process"`` returns a
+    :class:`~repro.runner.process_cluster.ProcessCluster` — one spawned OS
+    process per node (or per shard of ``processes`` workers), which is the
+    multicore lane.  Both expose the same ``start`` / ``run`` /
+    ``run_until_commits`` / ``stop`` / ``min_committed`` surface, so
+    benchmarks and examples switch placement with this one knob.
+
+    ``processes`` is only meaningful under process placement (inline has
+    exactly one); extra ``kwargs`` go to the chosen cluster's constructor.
+    """
+    if placement == "inline":
+        if processes is not None:
+            raise ConfigurationError(
+                "processes is a process-placement knob; inline placement "
+                "runs every node in the calling process"
+            )
+        return TcpCluster(
+            config, host=host, codec=codec, connect_timeout=connect_timeout,
+            coalesce_writes=coalesce_writes, **kwargs,
+        )
+    if placement == "process":
+        from repro.runner.process_cluster import ProcessCluster
+
+        return ProcessCluster(
+            config, host=host, codec=codec, processes=processes,
+            connect_timeout=connect_timeout, coalesce_writes=coalesce_writes,
+            **kwargs,
+        )
+    raise ConfigurationError(
+        f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+    )
+
+
+async def run_process_scenario_async(
+    config: ScenarioConfig,
+    codec: Optional[str] = None,
+    processes: Optional[int] = None,
+    coalesce_writes: bool = True,
+    stop_when: Optional[Callable[[Any], bool]] = None,
+) -> LiveRunResult:
+    """Run ``config`` on a multi-process cluster to ``config.duration``.
+
+    The process-placement twin of :func:`run_live_scenario_async`.
+    ``duration`` is **wall** seconds (node processes live on a shared
+    monotonic clock; there is no virtual fast path across OS processes),
+    and ``stop_when`` receives the
+    :class:`~repro.runner.process_cluster.ProcessCluster` — use
+    ``min_committed()`` for progress predicates.  The cluster is always
+    stopped and merged, even when the run raises.
+    """
+    from repro.runner.process_cluster import ProcessCluster
+
+    cluster = ProcessCluster(
+        config, codec=codec, processes=processes, coalesce_writes=coalesce_writes
+    )
+    try:
+        await cluster.run(config.duration, stop_when=stop_when)
+    finally:
+        await cluster.stop()
+    return cluster.result()
+
+
+def run_process_scenario(
+    config: ScenarioConfig,
+    codec: Optional[str] = None,
+    processes: Optional[int] = None,
+    coalesce_writes: bool = True,
+    stop_when: Optional[Callable[[Any], bool]] = None,
+) -> LiveRunResult:
+    """Blocking wrapper over :func:`run_process_scenario_async` (owns the loop)."""
+    return asyncio.run(
+        run_process_scenario_async(
+            config, codec=codec, processes=processes,
+            coalesce_writes=coalesce_writes, stop_when=stop_when,
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -562,19 +731,47 @@ def execute_live_cell(
     config: Optional[ScenarioConfig] = None,
     jitter: float = 0.0,
     chaos: Optional[ChaosConfig] = None,
+    placement: str = "inline",
 ) -> RunRecord:
-    """Run one campaign cell on the asyncio runtime (virtual clock).
+    """Run one campaign cell on the asyncio runtime.
 
     The live twin of :func:`repro.runner.executor.execute_cell`: same
     picklable :class:`RunRecord` shape, with ``events_processed`` counted
     by the runtime.  ``key`` arrives already salted by the campaign layer
-    (``live:`` prefix, plus chaos knobs when set) so cached live records
-    never shadow simulated ones.
+    (``live:`` prefix, plus jitter/chaos/placement knobs when set) so
+    cached live records never shadow simulated ones.
+
+    ``placement="inline"`` (the default) runs the cell in-memory under the
+    virtual clock — the deterministic fast path.  ``placement="process"``
+    runs it on a multi-process TCP cluster instead: real wall time, one OS
+    process per node.  Jitter and chaos are inline-transport knobs and are
+    rejected under process placement (a process cell's noise is the real
+    network's).
     """
+    if placement not in PLACEMENTS:
+        raise ConfigurationError(
+            f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+        )
     if config is None:
         config = build(params)
     started = time.perf_counter()
-    result = run_live_scenario(config, jitter=jitter, max_events=max_events, chaos=chaos)
+    if placement == "process":
+        if jitter:
+            raise ConfigurationError(
+                "jitter is an inline-transport knob; process placement runs "
+                "over real sockets whose latency is not simulated"
+            )
+        if chaos is not None and chaos.active:
+            raise ConfigurationError(
+                "chaos injection applies to inline transports; process "
+                "placement does not support it (use a scenario/delay_model, "
+                "which the node processes impose themselves)"
+            )
+        result = run_process_scenario(config)
+    else:
+        result = run_live_scenario(
+            config, jitter=jitter, max_events=max_events, chaos=chaos
+        )
     wall_time = time.perf_counter() - started
     return RunRecord(
         run_id=run_id,
@@ -585,7 +782,7 @@ def execute_live_cell(
         committed_blocks=result.committed_blocks(),
         max_honest_view=result.max_honest_view(),
         ledgers_consistent=result.ledgers_are_consistent(),
-        events_processed=result.runtime.events_processed,
+        events_processed=result.events_processed,
         wall_time=wall_time,
     )
 
@@ -604,21 +801,27 @@ class LiveExecutor:
     jitter: float = 0.0
     #: Drop/duplicate injection applied to every cell's transport.
     chaos: Optional[ChaosConfig] = None
+    #: Where each cell's nodes run: ``"inline"`` (one process, virtual
+    #: clock) or ``"process"`` (one OS process per node, wall clock).
+    placement: str = "inline"
 
     @property
     def cache_salt(self) -> str:
         """Cache-key prefix binding everything this executor changes about a run.
 
-        ``live:`` alone for the canonical zero-jitter, fault-free executor;
-        the jitter value and chaos knobs are folded in otherwise, so records
-        produced under different latency noise or injected faults never
-        answer for each other from a shared cache.
+        ``live:`` alone for the canonical zero-jitter, fault-free, inline
+        executor; the jitter value, chaos knobs and non-default placement
+        are folded in otherwise, so records produced under different
+        latency noise, injected faults or process placement never answer
+        for each other from a shared cache.
         """
         knobs = []
         if self.jitter != 0.0:
             knobs.append(f"jitter={self.jitter!r}")
         if self.chaos is not None and self.chaos.active:
             knobs.append(self.chaos.describe())
+        if self.placement != "inline":
+            knobs.append(f"placement={self.placement}")
         if not knobs:
             return "live:"
         return f"live[{','.join(knobs)}]:"
@@ -634,5 +837,5 @@ class LiveExecutor:
     ) -> RunRecord:
         return execute_live_cell(
             build, params, run_id, key, max_events=max_events, config=config,
-            jitter=self.jitter, chaos=self.chaos,
+            jitter=self.jitter, chaos=self.chaos, placement=self.placement,
         )

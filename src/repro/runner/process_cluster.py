@@ -1,0 +1,694 @@
+"""``ProcessCluster``: one OS process per node (or shard of nodes) over TCP.
+
+:class:`~repro.runner.live.TcpCluster` runs every replica of a live cluster
+inside a single Python process — real sockets, but one GIL, so ``n`` nodes'
+crypto, codec and protocol work serialise onto one core.  This module is
+the multicore lane: the same replica stack, the same
+:class:`~repro.runtime.tcp.TcpTransport`, but each node (or a shard of
+``k`` nodes) boots in its **own spawned OS process** with its own asyncio
+loop and crypto backend, and the parent acts purely as coordinator.
+
+Bootstrap dance (the ``TcpCluster`` dance, stretched over a control pipe):
+
+1. the parent spawns one worker per shard (``spawn`` context — fresh
+   interpreters, see the key-determinism note below) with a duplex
+   :func:`multiprocessing.Pipe` each;
+2. each worker builds the protocol stack, binds its nodes' servers on
+   ephemeral ports and reports ``("addresses", {pid: (host, port)})``;
+3. the parent assembles the full address map and broadcasts it back;
+   workers install it via :meth:`TcpTransport.set_peers`, start their
+   transports, and report ``("ready", ...)``;
+4. the parent broadcasts ``("go",)`` and every worker starts its replicas —
+   the barrier keeps cross-process start skew at pipe latency rather than
+   interpreter-boot latency;
+5. during the run the parent polls ``("status",)`` → per-pid ledger
+   lengths; at shutdown it sends ``("stop",)`` and each worker ships back a
+   picklable :class:`ShardReport` (metrics snapshot, ledger ids, counters,
+   teardown errors), which the parent merges into one cluster-wide
+   :class:`~repro.runner.live.LiveRunResult`.
+
+**Key determinism.**  Signing keys draw their secrets from a per-process
+monotonic counter, so two processes agree on the whole key ceremony exactly
+when they mint the same keys in the same order starting from a fresh
+counter.  Spawned workers satisfy this by construction (fresh interpreter,
+``PKI.setup`` is the first key-creating act), and the coordinator verifies
+it anyway: every worker reports a key fingerprint with its addresses, and a
+mismatch aborts the bootstrap with a configuration error instead of an
+unexplainable signature-verification storm.  The ``counting`` crypto
+backend is rejected outright — its digests are process-local interning
+tokens and can never validate across process boundaries.
+
+**Timeline.**  All workers anchor their
+:class:`~repro.runtime.asyncio_runtime.MonotonicClock` to one
+``time.monotonic()`` origin chosen by the parent (``CLOCK_MONOTONIC`` is
+system-wide on Linux), so merged metrics live on a single timeline exactly
+like a shared in-process clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.consensus.ledger import sequences_consistent
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.collector import MetricsCollector, merge_metrics_states
+from repro.runtime import (
+    AsyncioRuntime,
+    FaultCounters,
+    FaultyTransport,
+    MonotonicClock,
+    RuntimeContext,
+    TcpTransport,
+    adapt_schedule,
+    track_downtime,
+)
+from repro.sim.tracing import TraceRecorder
+
+#: Extra wall-clock seconds a worker outlives its configured duration before
+#: self-destructing — the orphan guard for a coordinator that died without
+#: sending ``("stop",)``.
+WORKER_LIFETIME_MARGIN = 120.0
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the spawned process)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything one worker needs, shipped through the spawn pickle."""
+
+    config: ScenarioConfig
+    pids: tuple[int, ...]
+    host: str
+    codec: Optional[str]
+    clock_origin: float
+    coalesce_writes: bool
+    connect_timeout: float
+    poll: float
+    lifetime: float
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """The picklable residue one worker ships back at shutdown."""
+
+    pids: tuple[int, ...]
+    metrics_state: dict
+    ledger_ids: dict[int, tuple[str, ...]]
+    events_processed: int
+    messages_sent: int
+    messages_delivered: int
+    frames_dropped: int
+    teardown_errors: tuple[str, ...]
+
+
+async def _pipe_recv(conn, poll: float, timeout: Optional[float] = None):
+    """Await the next control message without blocking the event loop."""
+    loop = asyncio.get_running_loop()
+    deadline = None if timeout is None else loop.time() + timeout
+    while True:
+        if conn.poll():
+            return conn.recv()
+        if deadline is not None and loop.time() >= deadline:
+            raise TimeoutError("control-channel message timed out")
+        await asyncio.sleep(poll)
+
+
+def _key_fingerprint(signing_keys: dict) -> tuple:
+    """Cross-process comparable summary of a shard's key ceremony."""
+    return tuple((pid, signing_keys[pid].secret_token) for pid in sorted(signing_keys))
+
+
+async def _shard_main(spec: _ShardSpec, conn) -> None:
+    # Imported here (not module top) to keep the coordinator-side import of
+    # this module free of a cycle: repro.runner.live imports ProcessCluster
+    # lazily, and the worker only needs the stack builders at run time.
+    from repro.runner.live import _build_protocol_stack, _make_replica, _start_replicas
+
+    (
+        protocol_config,
+        _crypto_backend,
+        corruption,
+        metrics,
+        pki,
+        signing_keys,
+        scheme,
+        trace,
+        delay_model,
+    ) = _build_protocol_stack(spec.config)
+    chaotic = delay_model is not None or spec.config.scenario is not None
+    counters = FaultCounters() if chaotic else None
+    tcp_transports = {
+        pid: TcpTransport(
+            pid,
+            host=spec.host,
+            codec=spec.codec,
+            connect_timeout=spec.connect_timeout,
+            coalesce_writes=spec.coalesce_writes,
+        )
+        for pid in spec.pids
+    }
+    addresses = {}
+    for pid, transport in tcp_transports.items():
+        addresses[pid] = await transport.start_server()
+    conn.send(("addresses", addresses, _key_fingerprint(signing_keys)))
+
+    kind, peers = await _pipe_recv(conn, spec.poll, timeout=spec.lifetime)
+    assert kind == "peers", f"unexpected bootstrap message {kind!r}"
+    for transport in tcp_transports.values():
+        transport.set_peers(peers)
+
+    transports: dict[int, Any] = dict(tcp_transports)
+    if delay_model is not None:
+        # Same hold-then-forward approximation as TcpCluster: each node
+        # imposes the shared schedule on its outgoing sends, seeded per pid.
+        transports = {
+            pid: FaultyTransport(
+                transport,
+                schedule=adapt_schedule(delay_model),
+                network=spec.config.network_config(),
+                schedule_seed=spec.config.seed + pid,
+                counters=counters,
+            )
+            for pid, transport in tcp_transports.items()
+        }
+
+    clock = MonotonicClock(origin=spec.clock_origin)
+    runtimes: dict[int, AsyncioRuntime] = {}
+    replicas: dict[int, Any] = {}
+    for pid, transport in transports.items():
+        runtime = AsyncioRuntime(
+            transport, clock=clock, trace=trace, seed=spec.config.seed + pid
+        )
+        metrics.attach_transport(transport)
+        ctx = RuntimeContext(runtime=runtime, trace=trace)
+        replicas[pid] = _make_replica(
+            pid, ctx, spec.config, protocol_config, pki, signing_keys, scheme,
+            metrics, corruption,
+        )
+        runtimes[pid] = runtime
+    for transport in transports.values():
+        await transport.start()
+    if counters is not None:
+        metrics.attach_fault_counters(counters)
+        for pid, runtime in runtimes.items():
+            track_downtime(runtime, {pid: replicas[pid]}, counters)
+
+    conn.send(("ready",))
+    kind, = await _pipe_recv(conn, spec.poll, timeout=spec.lifetime)
+    assert kind == "go", f"unexpected bootstrap message {kind!r}"
+    _start_replicas(replicas, wall=True)
+
+    # Serve the control channel until told to stop (or until the orphan
+    # guard fires).  Replicas run entirely on loop timers and transport
+    # tasks; this coroutine only answers status probes.
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + spec.lifetime
+    stopping = False
+    while not stopping and loop.time() < deadline:
+        await asyncio.sleep(spec.poll)
+        try:
+            while conn.poll():
+                message = conn.recv()
+                if message[0] == "status":
+                    conn.send(
+                        ("status", {pid: len(r.ledger) for pid, r in replicas.items()})
+                    )
+                elif message[0] == "stop":
+                    stopping = True
+                    break
+        except (EOFError, OSError):
+            stopping = True  # coordinator went away: tear down and exit
+
+    for runtime in runtimes.values():
+        await runtime.stop()
+    teardown_errors: list[str] = []
+    frames_dropped = 0
+    for pid, transport in transports.items():
+        base = getattr(transport, "inner", transport)
+        frames_dropped += base.frames_dropped
+        teardown_errors.extend(f"node {pid}: {error}" for error in base.last_errors)
+    report = ShardReport(
+        pids=spec.pids,
+        metrics_state=metrics.state(),
+        ledger_ids={pid: tuple(r.ledger.block_ids) for pid, r in replicas.items()},
+        events_processed=sum(r.events_processed for r in runtimes.values()),
+        messages_sent=sum(t.messages_sent for t in transports.values()),
+        messages_delivered=sum(t.messages_delivered for t in transports.values()),
+        frames_dropped=frames_dropped,
+        teardown_errors=tuple(teardown_errors),
+    )
+    try:
+        conn.send(("result", report))
+    except (BrokenPipeError, OSError):
+        pass  # coordinator already gone; nothing left to report to
+
+
+def _shard_worker(spec: _ShardSpec, conn) -> None:
+    """Spawn target: run the shard, ship errors instead of dying silently."""
+    try:
+        asyncio.run(_shard_main(spec, conn))
+    except Exception:  # noqa: BLE001 - crossing a process boundary
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    """Coordinator-side handle for one spawned shard."""
+
+    index: int
+    pids: tuple[int, ...]
+    process: Any
+    conn: Any
+    alive: bool = True
+    report: Optional[ShardReport] = None
+    commits: dict[int, int] = field(default_factory=dict)
+
+
+class ProcessCluster:
+    """An n-replica cluster with one OS process per node (or shard).
+
+    The multicore sibling of :class:`~repro.runner.live.TcpCluster`: the
+    public surface (``start`` / ``run`` / ``run_until_commits`` / ``stop``,
+    ``min_committed``, ``ledgers_are_consistent``, ``metrics``) mirrors it,
+    so benchmarks and examples switch placement with one constructor.  The
+    differences are inherent to the process boundary:
+
+    * ``metrics`` holds the *merged* cluster-wide collector only after
+      :meth:`stop` (during the run the parent sees ledger lengths, not
+      events);
+    * ``stop_when`` predicates receive the cluster and may consult
+      :meth:`min_committed`, which refreshes at the status-poll cadence;
+    * protocol traces (``config.record_trace``) stay inside the workers and
+      are discarded — cross-process trace merge is not supported.
+
+    Parameters
+    ----------
+    config:
+        The scenario to run; ``n``, ``pacemaker``, ``delta``, ``seed``,
+        ``crypto_backend`` and a named ``scenario``/``delay_model`` are
+        honoured exactly as :class:`~repro.runner.live.TcpCluster` honours
+        them.  The ``counting`` crypto backend is rejected: its digests are
+        process-local interning tokens and cannot validate across nodes
+        that do not share a heap.
+    processes:
+        Number of worker processes; defaults to one per node.  Fewer
+        processes shard the nodes contiguously (``k`` nodes per worker) —
+        useful when ``n`` exceeds the core count.
+    codec:
+        Wire-codec *name* (``"binary"``/``"json"``); codec instances do not
+        cross the spawn boundary.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        host: str = "127.0.0.1",
+        codec: Optional[str] = None,
+        processes: Optional[int] = None,
+        connect_timeout: float = 10.0,
+        coalesce_writes: bool = True,
+        status_interval: float = 0.05,
+        worker_poll: float = 0.02,
+        bootstrap_timeout: float = 120.0,
+        teardown_timeout: float = 30.0,
+    ) -> None:
+        if codec is not None and not isinstance(codec, str):
+            raise ConfigurationError(
+                "ProcessCluster takes a codec *name* (codec instances do not "
+                "survive the spawn pickle); pass \"binary\" or \"json\""
+            )
+        if config.crypto_backend == "counting":
+            raise ConfigurationError(
+                "the counting crypto backend interns digests per process and "
+                "cannot validate across OS processes; use \"hashing\" or "
+                "\"interned\" for process placement"
+            )
+        if processes is not None and processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        self.config = config
+        self.host = host
+        self.codec = codec
+        self.processes = min(processes, config.n) if processes is not None else config.n
+        self.connect_timeout = connect_timeout
+        self.coalesce_writes = coalesce_writes
+        self.status_interval = status_interval
+        self.worker_poll = worker_poll
+        self.bootstrap_timeout = bootstrap_timeout
+        self.teardown_timeout = teardown_timeout
+        #: Merged cluster-wide metrics; populated by :meth:`stop`.
+        self.metrics = MetricsCollector()
+        #: Committed block ids per pid, shipped back at :meth:`stop`.
+        self.ledger_ids: dict[int, tuple[str, ...]] = {}
+        #: Errors surfaced during teardown: transport ``last_errors`` from
+        #: every node, plus coordinator-observed worker failures (crashes,
+        #: missing reports, non-zero exit codes).
+        self.teardown_errors: list[str] = []
+        #: Total frames lost to exhausted connect windows, cluster-wide.
+        self.frames_dropped = 0
+        #: Sum of every node runtime's ``events_processed``.
+        self.events_processed = 0
+        #: Wire totals across all nodes (populated by :meth:`stop`).
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._workers: list[_Worker] = []
+        self._stack: Optional[tuple] = None
+        self._started = False
+        self._stopped = False
+        self._status_due = 0.0
+        self._status_outstanding = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the workers and run the address/ready/go bootstrap dance."""
+        if self._started:
+            return
+        from repro.runner.live import _build_protocol_stack
+
+        # Parent-side stack build: only protocol_config and the corruption
+        # plan are kept (for summaries); the parent mints keys it never uses.
+        self._stack = _build_protocol_stack(self.config)
+        protocol_config = self._stack[0]
+        pids = list(protocol_config.processor_ids)
+        shards = self._partition(pids, self.processes)
+        origin = time.monotonic()
+        lifetime = self.config.duration + WORKER_LIFETIME_MARGIN
+        ctx = multiprocessing.get_context("spawn")
+        for index, shard in enumerate(shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            spec = _ShardSpec(
+                config=self.config,
+                pids=tuple(shard),
+                host=self.host,
+                codec=self.codec,
+                clock_origin=origin,
+                coalesce_writes=self.coalesce_writes,
+                connect_timeout=self.connect_timeout,
+                poll=self.worker_poll,
+                lifetime=lifetime,
+            )
+            process = ctx.Process(
+                target=_shard_worker, args=(spec, child_conn), daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(
+                _Worker(index=index, pids=tuple(shard), process=process, conn=parent_conn)
+            )
+        try:
+            addresses: dict[int, tuple[str, int]] = {}
+            fingerprints = []
+            for worker in self._workers:
+                message = await self._recv(worker, timeout=self.bootstrap_timeout)
+                if message is None or message[0] != "addresses":
+                    raise SimulationError(
+                        f"worker {worker.index} (pids {worker.pids}) failed during "
+                        f"bootstrap: {self._failure_reason(worker, message)}"
+                    )
+                addresses.update(message[1])
+                fingerprints.append(message[2])
+            if any(fp != fingerprints[0] for fp in fingerprints[1:]):
+                raise ConfigurationError(
+                    "spawned workers derived different signing keys — the key "
+                    "ceremony is no longer deterministic under a fresh "
+                    "interpreter (did module import start minting keys?)"
+                )
+            for worker in self._workers:
+                worker.conn.send(("peers", addresses))
+            for worker in self._workers:
+                message = await self._recv(worker, timeout=self.bootstrap_timeout)
+                if message is None or message[0] != "ready":
+                    raise SimulationError(
+                        f"worker {worker.index} (pids {worker.pids}) failed before "
+                        f"start: {self._failure_reason(worker, message)}"
+                    )
+            for worker in self._workers:
+                worker.conn.send(("go",))
+        except Exception:
+            self._terminate_all()
+            raise
+        self._started = True
+
+    async def run(
+        self,
+        duration: float,
+        stop_when: Optional[Callable[["ProcessCluster"], bool]] = None,
+        poll: float = 0.02,
+    ) -> None:
+        """Run for ``duration`` wall seconds (or until ``stop_when(cluster)``).
+
+        The predicate is evaluated at the status-poll cadence against the
+        freshest per-node ledger lengths the workers reported.
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + duration
+        while loop.time() < deadline:
+            await asyncio.sleep(min(poll, max(deadline - loop.time(), 0.0)))
+            await self._refresh_status()
+            if stop_when is not None and stop_when(self):
+                return
+            if not any(worker.alive for worker in self._workers):
+                return  # every worker died; nothing left to wait for
+
+    async def run_until_commits(
+        self, blocks: int, timeout: float, poll: float = 0.02
+    ) -> int:
+        """Run until every ledger holds ``blocks`` commits (or ``timeout``
+        wall seconds); returns the final minimum ledger length."""
+        await self.run(
+            timeout, stop_when=lambda c: c.min_committed() >= blocks, poll=poll
+        )
+        return self.min_committed()
+
+    async def stop(self) -> None:
+        """Stop every worker, collect reports, and merge the cluster result.
+
+        Never hangs on a crashed worker: reports are awaited under
+        ``teardown_timeout`` and stragglers are terminated, with the
+        failure recorded in :attr:`teardown_errors` rather than raised —
+        a dead node is data, not an excuse to lose the others' results.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker in self._workers:
+            if worker.alive:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    worker.alive = False
+        reports: list[ShardReport] = []
+        for worker in self._workers:
+            report = await self._await_report(worker)
+            if report is not None:
+                reports.append(report)
+                worker.report = report
+        for worker in self._workers:
+            worker.process.join(timeout=self.teardown_timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+                self.teardown_errors.append(
+                    f"worker {worker.index} (pids {worker.pids}): did not exit; terminated"
+                )
+            elif worker.report is None:
+                self.teardown_errors.append(
+                    f"worker {worker.index} (pids {worker.pids}): exited with code "
+                    f"{worker.process.exitcode} without reporting results"
+                )
+            worker.conn.close()
+        self._merge(reports)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def min_committed(self) -> int:
+        """Shortest known ledger across the cluster (status-poll freshness).
+
+        Nodes whose worker died report their last known length; a cluster
+        that has not completed its first status round reports 0.
+        """
+        commits = {}
+        for worker in self._workers:
+            commits.update(worker.commits)
+        if len(commits) < self.config.n:
+            return 0
+        return min(commits.values())
+
+    def ledgers_are_consistent(self) -> bool:
+        """Safety over the collected ledgers (available after :meth:`stop`)."""
+        if not self._stopped:
+            raise SimulationError(
+                "ledgers_are_consistent() needs the collected ledgers; call "
+                "stop() first (use min_committed() for live progress)"
+            )
+        return sequences_consistent(self.ledger_ids.values())
+
+    def result(self):
+        """The merged :class:`~repro.runner.live.LiveRunResult` (after :meth:`stop`)."""
+        if not self._stopped:
+            raise SimulationError("result() is available after stop()")
+        from repro.runner.live import LiveRunResult
+
+        assert self._stack is not None
+        protocol_config, _, corruption = self._stack[0], self._stack[1], self._stack[2]
+        return LiveRunResult(
+            config=self.config,
+            protocol_config=protocol_config,
+            metrics=self.metrics,
+            trace=TraceRecorder(enabled=False),
+            replicas={},
+            corruption=corruption,
+            runtime=None,
+            transport=None,
+            ledger_block_ids=dict(self.ledger_ids),
+            events=self.events_processed,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _partition(pids: Sequence[int], processes: int) -> list[list[int]]:
+        """Contiguous near-equal shards, every shard non-empty."""
+        base, extra = divmod(len(pids), processes)
+        shards, cursor = [], 0
+        for index in range(processes):
+            size = base + (1 if index < extra else 0)
+            shards.append(list(pids[cursor:cursor + size]))
+            cursor += size
+        return shards
+
+    async def _recv(self, worker: _Worker, timeout: float):
+        """Next message from a worker, or ``None`` if it died/timed out."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            if not worker.alive:
+                return None
+            try:
+                if worker.conn.poll():
+                    return worker.conn.recv()
+                if not worker.process.is_alive():
+                    # Dead and the pipe is drained: nothing more will come.
+                    worker.alive = False
+                    return None
+            except (EOFError, OSError):
+                worker.alive = False
+                return None
+            if loop.time() >= deadline:
+                return None
+            await asyncio.sleep(self.worker_poll)
+
+    def _failure_reason(self, worker: _Worker, message) -> str:
+        if message is not None and message[0] == "error":
+            return f"worker raised:\n{message[1]}"
+        if not worker.process.is_alive():
+            return f"process died (exit code {worker.process.exitcode})"
+        return "bootstrap timed out"
+
+    async def _refresh_status(self) -> None:
+        """One status round across the alive workers, rate-limited."""
+        loop = asyncio.get_running_loop()
+        if loop.time() < self._status_due:
+            return
+        self._status_due = loop.time() + self.status_interval
+        polled = []
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.conn.send(("status",))
+                polled.append(worker)
+            except (BrokenPipeError, OSError):
+                worker.alive = False
+                self.teardown_errors.append(
+                    f"worker {worker.index} (pids {worker.pids}): control channel "
+                    f"broke mid-run (exit code {worker.process.exitcode})"
+                )
+        for worker in polled:
+            # Workers answer within one of their poll cycles; a short wait
+            # keeps a wedged worker from stalling the coordinator's run loop.
+            message = await self._recv(
+                worker, timeout=max(1.0, 10 * self.status_interval)
+            )
+            if message is None:
+                if not worker.alive:
+                    self.teardown_errors.append(
+                        f"worker {worker.index} (pids {worker.pids}): died mid-run "
+                        f"(exit code {worker.process.exitcode})"
+                    )
+                continue
+            if message[0] == "status":
+                worker.commits.update(message[1])
+            elif message[0] == "error":
+                worker.alive = False
+                self.teardown_errors.append(
+                    f"worker {worker.index} (pids {worker.pids}): {message[1]}"
+                )
+
+    async def _await_report(self, worker: _Worker) -> Optional[ShardReport]:
+        """Wait for a worker's ``("result", ...)``, skipping stale replies."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.teardown_timeout
+        while loop.time() < deadline:
+            message = await self._recv(worker, timeout=max(deadline - loop.time(), 0.01))
+            if message is None:
+                break
+            if message[0] == "result":
+                return message[1]
+            if message[0] == "error":
+                self.teardown_errors.append(
+                    f"worker {worker.index} (pids {worker.pids}): {message[1]}"
+                )
+                return None
+            # stale status replies drain here
+        return None
+
+    def _terminate_all(self) -> None:
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+
+    def _merge(self, reports: list[ShardReport]) -> None:
+        """Fold the shard reports into the cluster-wide result surface."""
+        self.metrics = merge_metrics_states([r.metrics_state for r in reports])
+        for report in reports:
+            self.ledger_ids.update(report.ledger_ids)
+            self.events_processed += report.events_processed
+            self.messages_sent += report.messages_sent
+            self.messages_delivered += report.messages_delivered
+            self.frames_dropped += report.frames_dropped
+            self.teardown_errors.extend(report.teardown_errors)
+        # merge_metrics_states already folded each shard's fault_counts
+        # snapshot (which includes its frames_dropped) into the merged
+        # collector, so RunMetrics carries them without further wiring.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stopped" if self._stopped else ("running" if self._started else "new")
+        return (
+            f"ProcessCluster(n={self.config.n}, processes={self.processes}, "
+            f"{state}, min_committed={self.min_committed()}, "
+            f"frames_dropped={self.frames_dropped}, "
+            f"teardown_errors={len(self.teardown_errors)})"
+        )

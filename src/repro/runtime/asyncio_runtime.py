@@ -63,12 +63,19 @@ class MonotonicClock(Clock):
     Monotone and unaffected by system-clock jumps, which is exactly what
     local clocks and view timers need; sharing one instance across the
     nodes of an in-process cluster puts all their metrics on one timeline.
+
+    ``origin`` pins time zero to an explicit ``time.monotonic()`` reading.
+    On Linux ``CLOCK_MONOTONIC`` is system-wide, so a coordinator can take
+    one reading and hand it to every node *process* of a multi-process
+    cluster — their clocks then agree the way a shared instance makes
+    in-process nodes agree (see
+    :class:`~repro.runner.process_cluster.ProcessCluster`).
     """
 
     __slots__ = ("_origin",)
 
-    def __init__(self) -> None:
-        self._origin = _time.monotonic()
+    def __init__(self, origin: Optional[float] = None) -> None:
+        self._origin = _time.monotonic() if origin is None else origin
 
     @property
     def now(self) -> float:

@@ -58,11 +58,25 @@ class TcpTransport(Transport):
     connect_timeout:
         How long a writer keeps retrying each (re)connect window to a peer
         before giving up (covers the all-nodes-starting-at-once race and
-        peer restarts).  A writer that exhausts the window dies — at most
-        one in-flight frame is dropped — and is respawned by the next
-        ``send`` to that peer, so an outage longer than the window delays
-        traffic rather than partitioning the node permanently.
+        peer restarts).  A writer that exhausts the window dies — its
+        in-flight frames are counted in :attr:`frames_dropped` — and is
+        respawned by the next ``send`` to that peer, so an outage longer
+        than the window delays traffic rather than partitioning the node
+        permanently.
+    coalesce_writes:
+        When true (the default), a writer that wakes up with several frames
+        queued flushes them all in **one** ``write()`` + ``drain()`` instead
+        of one per frame.  The byte stream is identical — frames are
+        length-prefixed and concatenated in queue order, untouched — so the
+        receiver cannot tell the difference; only the syscall count drops.
+        ``False`` selects the per-frame reference path (the
+        ``Network.batch_deliveries`` pattern: the toggle exists so the
+        equivalence is testable, see ``tests/test_tcp_batching.py``).
     """
+
+    #: Upper bound on frames flushed per coalesced ``write()`` — bounds the
+    #: size of the held batch a reconnecting writer must resend.
+    MAX_COALESCED_FRAMES = 512
 
     def __init__(
         self,
@@ -71,6 +85,7 @@ class TcpTransport(Transport):
         port: int = 0,
         codec: Union[WireCodec, str, None] = None,
         connect_timeout: float = 10.0,
+        coalesce_writes: bool = True,
     ) -> None:
         super().__init__()
         self.pid = pid
@@ -83,6 +98,16 @@ class TcpTransport(Transport):
         else:
             self.codec = codec
         self.connect_timeout = connect_timeout
+        self.coalesce_writes = coalesce_writes
+        #: Frames this node gave up on: a writer that exhausted its connect
+        #: window died holding them.  Folded into a run's fault counts by
+        #: ``MetricsCollector.attach_transport`` so silently lost frames
+        #: always leave a trace in ``RunMetrics``.
+        self.frames_dropped = 0
+        #: Non-cancellation exceptions surfaced while tearing the node down
+        #: (``{task name}: {error!r}`` strings).  Teardown used to swallow
+        #: these; clusters now aggregate them into ``teardown_errors``.
+        self.last_errors: list[str] = []
         self._peers: dict[int, tuple[str, int]] = {}
         self._process: Any = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -153,17 +178,25 @@ class TcpTransport(Transport):
         (and theirs ours, when every node stops), which is the clean exit
         path ``_on_connection`` already handles; stragglers are cancelled
         only after a grace wait.
+
+        Teardown never raises, but it no longer *hides* either: a pump or
+        writer task that died of anything other than the cancellation we
+        just requested records the error in :attr:`last_errors`, so cluster
+        shutdown can report real bugs instead of swallowing them.
         """
         own = [self._pump_task, *self._writers.values()]
         for task in own:
             if task is not None:
                 task.cancel()
         for task in own:
-            if task is not None:
-                try:
-                    await task
-                except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
-                    pass
+            if task is None:
+                continue
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception as exc:  # noqa: BLE001 - collected, not hidden
+                self.last_errors.append(f"{task.get_name()}: {exc!r}")
         self._pump_task = None
         self._writers.clear()
         for writer in self._connections.values():
@@ -262,27 +295,53 @@ class TcpTransport(Transport):
         """Own the outbound link to ``peer``: connect, drain the queue, reconnect.
 
         A dropped connection (peer restart, TCP reset) closes the stream,
-        keeps the unsent frame, reconnects and resends it — the node is
+        keeps the unsent frames, reconnects and resends them — the node is
         never silently partitioned from a peer that comes back.
+
+        With :attr:`coalesce_writes` on, every wakeup greedily drains the
+        outbox (up to :attr:`MAX_COALESCED_FRAMES`) and flushes the whole
+        batch as a single ``write()`` + ``drain()``.  Frames are
+        concatenated in queue order and never mutated, so the byte stream —
+        and therefore the peer's decode sequence — is identical to the
+        per-frame reference path; a protocol burst (a broadcast fan-in, a
+        view change) costs one syscall pair instead of one per frame.
+
+        A writer that exhausts its connect window gives up *audibly*: the
+        frames it was holding are counted in :attr:`frames_dropped` before
+        the task exits (the next ``send`` to the peer spawns a fresh
+        incarnation).
         """
         outbox = self._outboxes[peer]
         writer: Optional[asyncio.StreamWriter] = None
-        frame: Optional[bytes] = None
+        batch: list[bytes] = []
         while True:
+            if not batch:
+                batch.append(await outbox.get())
+                if self.coalesce_writes:
+                    while len(batch) < self.MAX_COALESCED_FRAMES:
+                        try:
+                            batch.append(outbox.get_nowait())
+                        except asyncio.QueueEmpty:
+                            break
             if writer is None:
-                writer = await self._connect(peer)
-            if frame is None:
-                frame = await outbox.get()
+                try:
+                    writer = await self._connect(peer)
+                except OSError:
+                    # Connect window exhausted: the held frames are lost.
+                    # Count them — a silent drop here is indistinguishable
+                    # from a network partition to everyone upstream.
+                    self.frames_dropped += len(batch)
+                    return
             try:
-                writer.write(frame)
+                writer.write(batch[0] if len(batch) == 1 else b"".join(batch))
                 await writer.drain()
             except (ConnectionError, OSError):
                 writer.close()
                 if self._connections.get(peer) is writer:
                     del self._connections[peer]
-                writer = None  # reconnect and resend the held frame
+                writer = None  # reconnect and resend the held batch
             else:
-                frame = None
+                batch.clear()
 
     # ------------------------------------------------------------------
     # Receiving
@@ -318,21 +377,38 @@ class TcpTransport(Transport):
             writer.close()
 
     async def _pump(self) -> None:
-        """The replica's task: deliver inbox messages one at a time."""
+        """The replica's task: drain the inbox a batch per wakeup.
+
+        Messages are still delivered strictly one at a time, in arrival
+        order — the protocol callback discipline is untouched.  What changes
+        is the wakeup accounting: a burst of arrivals (readers enqueue
+        without yielding between frames of one TCP segment) is drained with
+        ``get_nowait`` after the first ``await``, costing one queue wakeup
+        per batch instead of one per message.
+        """
         assert self._inbox is not None
+        inbox = self._inbox
         while True:
-            sender, payload = await self._inbox.get()
-            if self._process is None:
-                continue
-            envelope = TransportEnvelope(
-                next(self._msg_ids), sender, self.pid, payload,
-                self.runtime.now, self.runtime.now,
-            )
-            self.runtime.events_processed += 1
-            self._delivered(envelope, self._process)
+            batch = [await inbox.get()]
+            while True:
+                try:
+                    batch.append(inbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for sender, payload in batch:
+                if self._process is None:
+                    continue
+                envelope = TransportEnvelope(
+                    next(self._msg_ids), sender, self.pid, payload,
+                    self.runtime.now, self.runtime.now,
+                )
+                self.runtime.events_processed += 1
+                self._delivered(envelope, self._process)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"TcpTransport(pid={self.pid}, address={self.address}, "
-            f"peers={sorted(self._peers)}, sent={self.messages_sent})"
+            f"peers={sorted(self._peers)}, sent={self.messages_sent}, "
+            f"frames_dropped={self.frames_dropped}, "
+            f"teardown_errors={len(self.last_errors)})"
         )

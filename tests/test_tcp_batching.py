@@ -1,0 +1,135 @@
+"""Coalesced TCP writes: byte-stream equivalence, drop accounting, teardown errors.
+
+The writer-coalescing optimisation (``TcpTransport(coalesce_writes=...)``)
+follows the ``Network.batch_deliveries`` pattern: the fast path ships with a
+toggle selecting the per-frame reference path, and a test proves the two are
+observationally identical — here, that the *byte stream* a peer receives is
+identical, which is the strongest statement possible for a framed protocol
+(the receiver cannot even in principle distinguish the paths).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.runtime import TcpTransport
+
+
+def _frame(index: int, size: int = 40) -> bytes:
+    body = (b"%06d" % index) * (size // 6)
+    return len(body).to_bytes(4, "big") + body
+
+
+async def _accumulating_server():
+    """A server that appends every received byte to one buffer."""
+    received = bytearray()
+    done = asyncio.Event()
+
+    async def on_connection(reader, writer):
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            received.extend(chunk)
+            done.set()
+        writer.close()
+
+    server = await asyncio.start_server(on_connection, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, (host, port), received
+
+
+async def _send_frames(address, frames, coalesce: bool) -> bytes:
+    """Push ``frames`` through a writer task and return the peer's byte stream."""
+    server, addr, received = address
+    transport = TcpTransport(0, coalesce_writes=coalesce, connect_timeout=5.0)
+    transport.set_peers({1: addr})
+    for frame in frames:
+        transport._enqueue_frame(1, frame)
+    total = sum(len(frame) for frame in frames)
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + 10.0
+    while len(received) < total and loop.time() < deadline:
+        await asyncio.sleep(0.005)
+    await transport.stop()
+    return bytes(received)
+
+
+@pytest.mark.tcp
+@pytest.mark.parametrize("count", [1, 3, 200, 700])
+def test_coalesced_writes_are_byte_stream_identical(count):
+    """Same frames, both toggle positions, one byte stream.
+
+    200 frames enqueued before the writer first wakes exercises real
+    batches; 700 crosses MAX_COALESCED_FRAMES, so the cap path (multiple
+    coalesced writes) is covered too.
+    """
+    frames = [_frame(i) for i in range(count)]
+    expected = b"".join(frames)
+
+    async def run(coalesce: bool) -> bytes:
+        address = await _accumulating_server()
+        try:
+            return await _send_frames(address, frames, coalesce)
+        finally:
+            address[0].close()
+            await address[0].wait_closed()
+
+    fast = asyncio.run(run(True))
+    reference = asyncio.run(run(False))
+    assert fast == expected
+    assert reference == expected
+    assert fast == reference
+
+
+@pytest.mark.tcp
+def test_exhausted_connect_window_counts_dropped_frames():
+    """A writer that dies of an unreachable peer counts the frames it held."""
+    # Bind-then-close: a port that was ours a moment ago, now refusing.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_address = probe.getsockname()[:2]
+    probe.close()
+
+    async def run() -> TcpTransport:
+        transport = TcpTransport(0, connect_timeout=0.3)
+        transport.set_peers({1: dead_address})
+        for i in range(3):
+            transport._enqueue_frame(1, _frame(i))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 5.0
+        while transport.frames_dropped < 3 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await transport.stop()
+        return transport
+
+    transport = asyncio.run(run())
+    assert transport.frames_dropped == 3
+    assert "frames_dropped=3" in repr(transport)
+
+
+@pytest.mark.tcp
+def test_stop_collects_task_errors_instead_of_swallowing():
+    """Teardown records non-cancellation task deaths in ``last_errors``."""
+
+    async def run() -> TcpTransport:
+        transport = TcpTransport(0)
+
+        async def doomed_writer():
+            raise RuntimeError("writer exploded mid-run")
+
+        transport._writers[1] = asyncio.create_task(
+            doomed_writer(), name="tcp-writer-0->1"
+        )
+        await asyncio.sleep(0.01)  # let the task die before teardown
+        await transport.stop()
+        return transport
+
+    transport = asyncio.run(run())
+    assert len(transport.last_errors) == 1
+    assert "tcp-writer-0->1" in transport.last_errors[0]
+    assert "writer exploded mid-run" in transport.last_errors[0]
+    assert "teardown_errors=1" in repr(transport)

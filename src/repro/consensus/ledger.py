@@ -62,9 +62,24 @@ class Ledger:
         return len(self._entries)
 
     @property
-    def commands(self) -> list[str]:
-        """Flattened committed command sequence."""
-        return [cmd for entry in self._entries for cmd in entry.block.payload]
+    def commands(self) -> list:
+        """Flattened committed command sequence.
+
+        Client batches are expanded into their decoded
+        :class:`~repro.statemachine.commands.Command` tuples; synthetic
+        filler ids and any other payload items pass through unchanged.
+        """
+        from repro.statemachine.commands import decode_commands
+        from repro.statemachine.messages import CommandBatch
+
+        flat: list = []
+        for entry in self._entries:
+            for item in entry.block.payload:
+                if isinstance(item, CommandBatch):
+                    flat.extend(decode_commands(item.data))
+                else:
+                    flat.append(item)
+        return flat
 
 
 def ledgers_consistent(ledgers: Iterable[Ledger]) -> bool:

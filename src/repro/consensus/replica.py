@@ -10,7 +10,9 @@ A :class:`Replica` composes
 * the metrics collector observing the run.
 
 Message routing is type-based — :class:`~repro.consensus.messages.ConsensusMessage`
-instances go to the engine, everything else to the pacemaker — and runs
+instances go to the engine,
+:class:`~repro.statemachine.messages.ClientMessage` instances to the
+client path (mempool ingest), everything else to the pacemaker — and runs
 through a per-replica dispatch table keyed on the concrete payload class:
 the ``isinstance`` check happens once per *type*, not once per delivery
 (the per-delivery form was a measurable share of large-``n`` runs).
@@ -39,6 +41,7 @@ from repro.crypto.signatures import PKI, SigningKey
 from repro.crypto.threshold import ThresholdScheme
 from repro.metrics.collector import MetricsCollector
 from repro.sim.process import Process
+from repro.statemachine.messages import ClientMessage, CommandForward
 
 
 class Replica(Process):
@@ -72,6 +75,11 @@ class Replica(Process):
         self.mempool = mempool if mempool is not None else Mempool(pid)
         self.engine = (engine_factory or ChainedHotStuff)(self)
         self.pacemaker = pacemaker_factory(self)
+        # Client-workload attachments (set by repro.runner.workload when a
+        # ScenarioConfig carries a workload; None for pure-consensus runs).
+        self.state_machine = None
+        self.clients = None
+        self.gateway = None
         # Per-payload-type routing table, filled lazily on first sight of
         # each concrete message class (see on_message).
         self._routes: dict[type, Callable[[Any, int], None]] = {}
@@ -89,6 +97,8 @@ class Replica(Process):
     def start(self) -> None:
         """Start the pacemaker (which will drive the engine into views)."""
         self.pacemaker.start()
+        if self.clients is not None:
+            self.clients.start()
 
     def _schedule_downtime(self) -> None:
         """Schedule every crash/recovery window the behaviour declares.
@@ -120,11 +130,12 @@ class Replica(Process):
         """
         handler = self._routes.get(payload.__class__)
         if handler is None:
-            handler = (
-                self.engine.on_message
-                if isinstance(payload, ConsensusMessage)
-                else self.pacemaker.on_message
-            )
+            if isinstance(payload, ConsensusMessage):
+                handler = self.engine.on_message
+            elif isinstance(payload, ClientMessage):
+                handler = self._on_client_message
+            else:
+                handler = self.pacemaker.on_message
             self._routes[payload.__class__] = handler
         handler(payload, sender)
 
@@ -169,7 +180,19 @@ class Replica(Process):
         """A block became committed under the 3-chain rule."""
         self.ledger.commit(block, self.now)
         self.metrics.record_commit(self.pid, block.view, block.block_id, self.now)
+        if self.state_machine is not None:
+            self.state_machine.catch_up(self.ledger, self.now)
         self.trace("commit", view=block.view, block=block.block_id[:8])
+
+    def _on_client_message(self, payload: ClientMessage, sender: int) -> None:
+        """Client-path traffic: forwarded batches feed the mempool.
+
+        A full mempool silently drops the forward — the sending gateway's
+        retry timer re-offers outstanding commands, so backpressure needs
+        no NACK.
+        """
+        if isinstance(payload, CommandForward):
+            self.mempool.ingest(payload.batch)
 
     # ------------------------------------------------------------------
     # Epoch-synchronisation accounting (used by epoch-based pacemakers)

@@ -131,12 +131,17 @@ class LumierePacemaker(Pacemaker):
         candidate = int(math.floor(lc / step + _EPS)) * 2
         if candidate < 0:
             candidate = 0
-        if include_current:
-            while self.clock_time(candidate) < lc - _EPS:
-                candidate += 2
-        else:
+        if not include_current:
             while self.clock_time(candidate) <= lc + _EPS:
                 candidate += 2
+        # include_current keeps the floor boundary at-or-below lc.  On a real
+        # monotonic clock a few microseconds elapse between bump_to(c_v) and
+        # the read() above, so requiring c_candidate >= lc here would skip the
+        # boundary we were just bumped onto — under responsive view racing
+        # that silently skips the epoch view and live-locks the run at the
+        # epoch boundary.  Re-offering an already-handled boundary is safe:
+        # _on_clock_target's view/first-seeing guards make the re-fire a no-op
+        # and its finally-clause schedules the next boundary above lc.
         target_view = candidate
         self._clock_timer = self.clock.schedule_at_local(
             self.clock_time(target_view),

@@ -82,6 +82,13 @@ class ScenarioConfig:
     #: hashing).  Semantically identical for modelled runs, so campaigns can
     #: sweep this field directly — ``benchmarks/bench_scaling.py`` does.
     crypto_backend: str = "hashing"
+    #: Client workload (a :class:`repro.runner.workload.WorkloadConfig`);
+    #: ``None`` runs pure consensus with synthetic payloads.  When set,
+    #: every replica applies committed blocks to a replicated KV store and
+    #: the selected replicas run load generators — in this simulated lane
+    #: and in every live lane, since the field rides the config into
+    #: ``_make_replica`` and the spawned workers of a process cluster.
+    workload: Optional[Any] = None
 
     def protocol_config(self) -> ProtocolConfig:
         """The shared :class:`ProtocolConfig` implied by this scenario."""
@@ -277,6 +284,11 @@ def build_scenario(config: ScenarioConfig) -> ScenarioResult:
             metrics=metrics,
             behaviour=corruption.behaviour_for(pid),
         )
+        if config.workload is not None:
+            # Local import: repro.runner layers above this package.
+            from repro.runner.workload import attach_workload
+
+            attach_workload(replicas[pid], config.workload)
 
     return ScenarioResult(
         config=config,

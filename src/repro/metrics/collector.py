@@ -103,6 +103,15 @@ class MetricsCollector:
         self._commit_pids = array("q")
         self._commit_views = array("q")
         self._commit_block_ids: list[str] = []
+        # Client-request columns: one row per *applied* request, appended at
+        # apply time (the apply-time column is sorted and bisectable, like
+        # the message and commit columns).  Submission/rejection totals are
+        # plain counters — backpressure only needs counts.
+        self._request_submit_times = array("d")
+        self._request_apply_times = array("d")
+        self._request_pids = array("q")
+        self.requests_submitted = 0
+        self.requests_rejected = 0
         self.view_entries: dict[int, list[tuple[float, int]]] = {}
         self.epoch_syncs: list[tuple[float, int, int]] = []  # (time, pid, epoch)
         self.qc_count = 0
@@ -253,6 +262,27 @@ class MetricsCollector:
         self._commit_pids.append(pid)
         self._commit_views.append(view)
         self._commit_block_ids.append(block_id)
+
+    def record_request_submitted(self, pid: int) -> None:
+        """Count one client request accepted by a gateway at ``pid``."""
+        self.requests_submitted += 1
+
+    def record_request_rejected(self, pid: int) -> None:
+        """Count one client request refused by backpressure at ``pid``."""
+        self.requests_rejected += 1
+
+    def record_request_applied(
+        self, pid: int, submit_time: float, apply_time: float
+    ) -> None:
+        """Record the end-to-end completion of one client request.
+
+        ``pid`` is the replica whose gateway owned the request; the latency
+        is ``apply_time - submit_time`` — submission at the client to first
+        application on the owner's copy of the state machine.
+        """
+        self._request_submit_times.append(submit_time)
+        self._request_apply_times.append(apply_time)
+        self._request_pids.append(pid)
 
     def record_epoch_sync(self, pid: int, epoch: int, time: float) -> None:
         """Record that ``pid`` participated in a heavy (all-to-all) epoch synchronisation."""
@@ -408,6 +438,45 @@ class MetricsCollector:
         return [later - earlier for earlier, later in zip(boundaries, boundaries[1:])]
 
     # ------------------------------------------------------------------
+    # Queries: client requests
+    # ------------------------------------------------------------------
+    @property
+    def requests_applied(self) -> int:
+        """Client requests completed (applied on their owner's replica)."""
+        return len(self._request_apply_times)
+
+    def request_latencies(self, after: float = 0.0) -> list[float]:
+        """End-to-end latencies of requests applied at or after ``after``.
+
+        Bisects the sorted apply-time column (mirroring
+        :meth:`latency_after`'s columnar style), so warm-up exclusion costs
+        one bisect, not a scan.
+        """
+        lo = bisect.bisect_left(self._request_apply_times, after)
+        return [
+            apply_time - submit_time
+            for submit_time, apply_time in zip(
+                self._request_submit_times[lo:], self._request_apply_times[lo:]
+            )
+        ]
+
+    def request_latency_percentile(
+        self, quantile: float, after: float = 0.0
+    ) -> Optional[float]:
+        """The ``quantile``-th request latency (0.5 = p50), or ``None`` if empty."""
+        latencies = sorted(self.request_latencies(after))
+        if not latencies:
+            return None
+        index = min(len(latencies) - 1, int(quantile * len(latencies)))
+        return latencies[index]
+
+    def requests_applied_between(self, start: float, end: float) -> int:
+        """Requests applied in ``[start, end)`` — the throughput numerator."""
+        lo = bisect.bisect_left(self._request_apply_times, start)
+        hi = bisect.bisect_left(self._request_apply_times, end)
+        return hi - lo
+
+    # ------------------------------------------------------------------
     # Queries: views and epochs
     # ------------------------------------------------------------------
     def max_view_entered(self, pid: int) -> int:
@@ -462,6 +531,11 @@ class MetricsCollector:
             "commit_pids": self._commit_pids,
             "commit_views": self._commit_views,
             "commit_block_ids": list(self._commit_block_ids),
+            "request_submit_times": self._request_submit_times,
+            "request_apply_times": self._request_apply_times,
+            "request_pids": self._request_pids,
+            "requests_submitted": self.requests_submitted,
+            "requests_rejected": self.requests_rejected,
             "view_entries": {pid: list(entries) for pid, entries in self.view_entries.items()},
             "epoch_syncs": list(self.epoch_syncs),
             "qc_count": self.qc_count,
@@ -531,7 +605,23 @@ def merge_metrics_states(states: Iterable[dict]) -> "MetricsCollector":
     for time, pid, view, block_id in commits:
         merged.record_commit(pid, view, block_id, time)
 
+    # Sorted by apply time so the merged apply-time column stays bisectable
+    # (shards share one clock origin, exactly like the commit columns).
+    requests = sorted(
+        (apply_time, submit_time, pid)
+        for s in states
+        for submit_time, apply_time, pid in zip(
+            s.get("request_submit_times", ()),
+            s.get("request_apply_times", ()),
+            s.get("request_pids", ()),
+        )
+    )
+    for apply_time, submit_time, pid in requests:
+        merged.record_request_applied(pid, submit_time, apply_time)
+
     for s in states:
+        merged.requests_submitted += s.get("requests_submitted", 0)
+        merged.requests_rejected += s.get("requests_rejected", 0)
         for pid, entries in s["view_entries"].items():
             merged.view_entries.setdefault(pid, []).extend(entries)
         merged.qc_count += s["qc_count"]

@@ -85,6 +85,13 @@ class RunMetrics:
     #: Injected-fault totals of a chaotic live run, as sorted
     #: ``(name, count)`` pairs (empty for simulated and fault-free runs).
     fault_counts: tuple[tuple[str, int], ...] = ()
+    #: End-to-end client-request latencies in apply order (empty without a
+    #: workload).  Defaults keep old cached pickles loadable.
+    request_latencies: tuple[float, ...] = ()
+    #: Client-request totals (submitted counts acceptances; rejected counts
+    #: backpressure refusals; applied == len(request_latencies)).
+    requests_submitted: int = 0
+    requests_rejected: int = 0
 
     # ------------------------------------------------------------------
     # The same queries MetricsCollector answers, evaluated on the residue
@@ -126,6 +133,19 @@ class RunMetrics:
         """One injected-fault counter by name (0 when absent)."""
         return dict(self.fault_counts).get(name, 0)
 
+    @property
+    def requests_applied(self) -> int:
+        """Client requests completed during the run."""
+        return len(self.request_latencies)
+
+    def request_latency_percentile(self, quantile: float) -> Optional[float]:
+        """The ``quantile``-th request latency (0.5 = p50), or ``None``."""
+        latencies = sorted(self.request_latencies)
+        if not latencies:
+            return None
+        index = min(len(latencies) - 1, int(quantile * len(latencies)))
+        return latencies[index]
+
 
 def extract_run_metrics(metrics: MetricsCollector) -> RunMetrics:
     """Reduce a live collector to its picklable :class:`RunMetrics` residue."""
@@ -143,6 +163,9 @@ def extract_run_metrics(metrics: MetricsCollector) -> RunMetrics:
         ),
         total_honest_messages=metrics.total_honest_messages,
         fault_counts=tuple(sorted(metrics.fault_counts.items())),
+        request_latencies=tuple(metrics.request_latencies()),
+        requests_submitted=metrics.requests_submitted,
+        requests_rejected=metrics.requests_rejected,
     )
 
 

@@ -31,6 +31,15 @@ from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.campaign import Campaign, RunSpec, Sweep, config_fingerprint, spec_key
 from repro.runner.executor import BACKENDS, CampaignResult, execute_cell, run_campaign
 from repro.runner.record import RunRecord
+from repro.runner.workload import (
+    ClosedLoopLoad,
+    OpenLoopLoad,
+    RequestGateway,
+    WorkloadConfig,
+    attach_workload,
+    kv_apply_chains,
+    kv_state_digests,
+)
 
 #: Names resolved lazily from repro.runner.live (PEP 562): the live module
 #: pulls the whole asyncio runtime stack, which simulated campaigns never
@@ -70,20 +79,27 @@ __all__ = [
     "BACKENDS",
     "Campaign",
     "CampaignResult",
+    "ClosedLoopLoad",
     "DEFAULT_CACHE_DIR",
     "LiveExecutor",
     "LiveRunResult",
+    "OpenLoopLoad",
     "ProcessCluster",
+    "RequestGateway",
     "ResultCache",
     "RunRecord",
     "RunSpec",
     "ShardReport",
     "Sweep",
     "TcpCluster",
+    "WorkloadConfig",
+    "attach_workload",
     "build_live_scenario",
     "config_fingerprint",
     "execute_cell",
     "execute_live_cell",
+    "kv_apply_chains",
+    "kv_state_digests",
     "make_live_cluster",
     "run_campaign",
     "run_live_scenario",

@@ -143,7 +143,7 @@ def _make_replica(
     corruption: CorruptionPlan,
 ) -> Replica:
     factory = make_pacemaker_factory(config.pacemaker, protocol_config, config.pacemaker_config)
-    return Replica(
+    replica = Replica(
         pid=pid,
         ctx=ctx,
         config=protocol_config,
@@ -154,6 +154,14 @@ def _make_replica(
         metrics=metrics,
         behaviour=corruption.behaviour_for(pid),
     )
+    if config.workload is not None:
+        # Every live lane builds replicas here — inline clusters, TCP nodes
+        # and the spawned workers of a ProcessCluster — so attaching the
+        # client workload at this single point covers them all.
+        from repro.runner.workload import attach_workload
+
+        attach_workload(replica, config.workload)
+    return replica
 
 
 @dataclass
@@ -187,6 +195,10 @@ class LiveRunResult:
     ledger_block_ids: Optional[dict[int, tuple[str, ...]]] = None
     #: Runtime-event total for results without a local runtime.
     events: Optional[int] = None
+    #: KV state digests / apply chains shipped from node processes
+    #: (``None`` whenever ``replicas`` is populated or no workload ran).
+    kv_digests: Optional[dict[int, str]] = None
+    kv_chains: Optional[dict[int, tuple[str, ...]]] = None
 
     # ------------------------------------------------------------------
     # Summaries
@@ -232,6 +244,31 @@ class LiveRunResult:
         from repro.consensus.ledger import sequences_consistent
 
         return sequences_consistent(self._honest_ledger_ids())
+
+    def kv_state_digests(self) -> dict[int, str]:
+        """Per-replica KV state digests (empty without a workload)."""
+        if self.replicas:
+            from repro.runner.workload import kv_state_digests
+
+            return kv_state_digests(self.replicas.values())
+        return dict(self.kv_digests or {})
+
+    def kv_apply_chains(self) -> dict[int, tuple[str, ...]]:
+        """Per-replica KV apply chains (empty without a workload)."""
+        if self.replicas:
+            from repro.runner.workload import kv_apply_chains
+
+            return kv_apply_chains(self.replicas.values())
+        return dict(self.kv_chains or {})
+
+    def kv_consistent(self) -> bool:
+        """State-machine safety: apply chains are prefix-consistent.
+
+        Trivially true without a workload (no chains to disagree).
+        """
+        from repro.statemachine.kvstore import apply_chains_consistent
+
+        return apply_chains_consistent(self.kv_apply_chains().values())
 
     def honest_decisions(self) -> int:
         """Number of QCs produced by honest leaders during the run."""
@@ -571,6 +608,24 @@ class TcpCluster:
     def ledgers_are_consistent(self) -> bool:
         """Safety: all ledgers are pairwise prefix-consistent."""
         return ledgers_consistent([node.replica.ledger for node in self.nodes.values()])
+
+    def kv_digests(self) -> dict[int, str]:
+        """Per-node KV state digests (empty without a client workload)."""
+        from repro.runner.workload import kv_state_digests
+
+        return kv_state_digests(self.replicas.values())
+
+    def kv_chains(self) -> dict[int, tuple[str, ...]]:
+        """Per-node KV apply chains (empty without a client workload)."""
+        from repro.runner.workload import kv_apply_chains
+
+        return kv_apply_chains(self.replicas.values())
+
+    def kv_consistent(self) -> bool:
+        """State-machine safety: all apply chains are prefix-consistent."""
+        from repro.statemachine.kvstore import apply_chains_consistent
+
+        return apply_chains_consistent(self.kv_chains().values())
 
     async def run(
         self,

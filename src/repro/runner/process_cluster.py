@@ -106,6 +106,9 @@ class ShardReport:
     messages_delivered: int
     frames_dropped: int
     teardown_errors: tuple[str, ...]
+    #: KV state digests / apply chains per pid (empty without a workload).
+    kv_digests: dict[int, str] = field(default_factory=dict)
+    kv_chains: dict[int, tuple[str, ...]] = field(default_factory=dict)
 
 
 async def _pipe_recv(conn, poll: float, timeout: Optional[float] = None):
@@ -238,6 +241,16 @@ async def _shard_main(spec: _ShardSpec, conn) -> None:
         pids=spec.pids,
         metrics_state=metrics.state(),
         ledger_ids={pid: tuple(r.ledger.block_ids) for pid, r in replicas.items()},
+        kv_digests={
+            pid: r.state_machine.digest()
+            for pid, r in replicas.items()
+            if r.state_machine is not None
+        },
+        kv_chains={
+            pid: r.state_machine.apply_chain
+            for pid, r in replicas.items()
+            if r.state_machine is not None
+        },
         events_processed=sum(r.events_processed for r in runtimes.values()),
         messages_sent=sum(t.messages_sent for t in transports.values()),
         messages_delivered=sum(t.messages_delivered for t in transports.values()),
@@ -354,6 +367,10 @@ class ProcessCluster:
         self.metrics = MetricsCollector()
         #: Committed block ids per pid, shipped back at :meth:`stop`.
         self.ledger_ids: dict[int, tuple[str, ...]] = {}
+        #: KV state digests / apply chains per pid, shipped back at
+        #: :meth:`stop` (empty when no client workload was configured).
+        self.kv_state_digests: dict[int, str] = {}
+        self.kv_apply_chains: dict[int, tuple[str, ...]] = {}
         #: Errors surfaced during teardown: transport ``last_errors`` from
         #: every node, plus coordinator-observed worker failures (crashes,
         #: missing reports, non-zero exit codes).
@@ -542,6 +559,29 @@ class ProcessCluster:
             )
         return sequences_consistent(self.ledger_ids.values())
 
+    def kv_consistent(self) -> bool:
+        """State-machine safety over the shipped apply chains (after :meth:`stop`).
+
+        Trivially true when no workload ran (nothing was shipped).
+        """
+        if not self._stopped:
+            raise SimulationError("kv_consistent() needs the shipped chains; call stop() first")
+        from repro.statemachine.kvstore import apply_chains_consistent
+
+        return apply_chains_consistent(self.kv_apply_chains.values())
+
+    def kv_digests(self) -> dict[int, str]:
+        """Per-pid KV state digests (after :meth:`stop`); TcpCluster-compatible."""
+        if not self._stopped:
+            raise SimulationError("kv_digests() needs the shipped state; call stop() first")
+        return dict(self.kv_state_digests)
+
+    def kv_chains(self) -> dict[int, tuple[str, ...]]:
+        """Per-pid KV apply chains (after :meth:`stop`); TcpCluster-compatible."""
+        if not self._stopped:
+            raise SimulationError("kv_chains() needs the shipped state; call stop() first")
+        return dict(self.kv_apply_chains)
+
     def result(self):
         """The merged :class:`~repro.runner.live.LiveRunResult` (after :meth:`stop`)."""
         if not self._stopped:
@@ -561,6 +601,8 @@ class ProcessCluster:
             transport=None,
             ledger_block_ids=dict(self.ledger_ids),
             events=self.events_processed,
+            kv_digests=dict(self.kv_state_digests),
+            kv_chains=dict(self.kv_apply_chains),
         )
 
     # ------------------------------------------------------------------
@@ -675,6 +717,8 @@ class ProcessCluster:
         self.metrics = merge_metrics_states([r.metrics_state for r in reports])
         for report in reports:
             self.ledger_ids.update(report.ledger_ids)
+            self.kv_state_digests.update(report.kv_digests)
+            self.kv_apply_chains.update(report.kv_chains)
             self.events_processed += report.events_processed
             self.messages_sent += report.messages_sent
             self.messages_delivered += report.messages_delivered

@@ -1,0 +1,394 @@
+"""Client load generators and the request gateway.
+
+This module turns a cluster of replicas into a system that serves
+traffic: a picklable :class:`WorkloadConfig` rides on
+``ScenarioConfig.workload`` through every execution lane (sim, in-memory
+live, TCP, multi-process), and :func:`attach_workload` wires each replica
+with
+
+* a :class:`~repro.statemachine.kvstore.ReplicatedKV` applying committed
+  blocks (every replica, client-hosting or not), and
+* on the client-hosting replicas, a :class:`RequestGateway` plus an open-
+  or closed-loop load generator.
+
+**Clients are co-located** with replicas rather than registered as extra
+network processes: ``Runtime.broadcast`` targets every registered pid, so
+standalone client processes would receive (and distort the accounting of)
+all consensus traffic.  A generator is therefore plain timer-driven state
+on its replica, submitting into the local gateway.
+
+The gateway implements adaptive batching: submissions buffer until either
+``forward_batch`` commands are waiting (size trigger) or
+``forward_deadline`` elapses after the first buffered command (latency
+trigger); the flush encodes the buffer **once** into a
+:class:`~repro.statemachine.messages.CommandBatch` blob and hands it to
+the local mempool when this replica leads the current view, else forwards
+it to the believed leader.  A periodic retry timer re-encodes still
+outstanding commands and re-offers them to the *current* leader — that is
+what re-proposes commands across failed views, crashed leaders and
+dropped forwards, and why the state machine's exactly-once filter earns
+its keep.  Backpressure is two-level and bounded at both: a gateway
+refuses new submissions past ``max_pending`` outstanding, and a full
+mempool refuses forwarded batches (the retry re-offers them later).
+
+Everything here is deterministic by construction — keys, values and ops
+are derived from ``(client, seq)``, timers fire on a fixed grid, and no
+randomness is consumed — so a simulated run and a zero-jitter
+virtual-clock live run produce identical ledgers *and* identical KV
+state, which ``bench_throughput.py`` gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consensus.mempool import Mempool
+from repro.statemachine.commands import OP_DELETE, OP_PUT, Command, encode_commands
+from repro.statemachine.kvstore import ReplicatedKV
+from repro.statemachine.messages import CommandBatch, CommandForward
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Declarative client workload, picklable across process boundaries.
+
+    ``mode`` selects the generator: ``"open"`` submits at a fixed offered
+    rate regardless of completions (the overload-probing shape);
+    ``"closed"`` keeps ``clients`` requests in flight per replica, each
+    client submitting its next command ``think_time`` after the previous
+    one applied (the latency-probing shape).
+    """
+
+    mode: str = "open"
+    #: Open loop: offered commands/sec per client-hosting replica.
+    rate: float = 50.0
+    #: Client streams per hosting replica (closed loop: concurrent clients).
+    clients: int = 2
+    #: Closed loop: seconds between a completion and the next submission.
+    think_time: float = 0.0
+    #: Submission window, relative to replica start.
+    start: float = 0.0
+    stop: Optional[float] = None
+    #: Keys per client stream (cycled by sequence number).
+    key_space: int = 64
+    #: Share one key range across clients instead of per-client ranges.
+    #: (Per-client ranges keep the end state order-independent.)
+    shared_keys: bool = False
+    #: Size trigger: flush the gateway buffer at this many commands.
+    forward_batch: int = 8
+    #: Deadline trigger: flush this many seconds after the first buffered
+    #: command even if the size trigger never fires.
+    forward_deadline: float = 0.05
+    #: Re-offer outstanding commands to the current leader this often.
+    #: Keep it comfortably above the typical commit latency — a retry that
+    #: races a commit is correct (the exactly-once filter eats it) but
+    #: wastes payload bytes on duplicates.
+    retry_interval: float = 5.0
+    #: Gateway bound: refuse submissions past this many outstanding.
+    max_pending: int = 2048
+    #: Mempool bounds (commands per proposal / queued before refusing).
+    max_batch: int = 256
+    max_mempool: int = 4096
+    #: Replicas that host client generators (``None`` = all replicas).
+    client_pids: Optional[tuple[int, ...]] = None
+
+    def hosts_clients(self, pid: int, n: int) -> bool:
+        """Whether the replica ``pid`` of an ``n``-cluster runs generators."""
+        if self.client_pids is not None:
+            return pid in self.client_pids
+        return pid < n
+
+
+def make_command(
+    workload: WorkloadConfig, client: int, seq: int
+) -> Command:
+    """The deterministic command of stream ``client`` at position ``seq``.
+
+    Mostly puts with a sprinkling of deletes; key and value are pure
+    functions of ``(client, seq)`` so every run offers the identical
+    command sequence — the chaos-vs-fault-free state equality the
+    exactly-once test asserts depends on it.
+    """
+    op = OP_DELETE if seq % 16 == 15 else OP_PUT
+    if workload.shared_keys:
+        key = f"k{(client * 7 + seq * 13) % workload.key_space}"
+    else:
+        key = f"c{client}:{seq % workload.key_space}"
+    return Command(client, seq, op, key, f"v{client}:{seq}")
+
+
+class RequestGateway:
+    """Per-replica client ingress: buffer, batch, forward, retry, complete.
+
+    Owns the outstanding-request table keyed ``(client, seq)``; the state
+    machine's ``on_apply`` callback completes entries and records
+    end-to-end latency into the replica's
+    :class:`~repro.metrics.collector.MetricsCollector`.
+    """
+
+    def __init__(self, replica, workload: WorkloadConfig) -> None:
+        self.replica = replica
+        self.workload = workload
+        self.metrics = replica.metrics
+        self._buffer: list[Command] = []
+        self._deadline_timer = None
+        # (client, seq) -> (command, submit_time); insertion = submission
+        # order, so retries re-offer in the original per-client order.
+        self._outstanding: dict[tuple[int, int], tuple[Command, float]] = {}
+        #: Completion callback for closed-loop generators.
+        self.on_complete = None
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet applied."""
+        return len(self._outstanding)
+
+    def submit(self, command: Command) -> bool:
+        """Accept one client command; ``False`` = backpressure, try later."""
+        if self.replica.crashed:
+            return False
+        if len(self._outstanding) >= self.workload.max_pending:
+            self.metrics.record_request_rejected(self.replica.pid)
+            return False
+        self.metrics.record_request_submitted(self.replica.pid)
+        self._outstanding[(command.client, command.seq)] = (
+            command,
+            self.replica.now,
+        )
+        self._buffer.append(command)
+        if len(self._buffer) >= self.workload.forward_batch:
+            self.flush()
+        elif self._deadline_timer is None:
+            self._deadline_timer = self.replica.runtime.set_timer(
+                self.workload.forward_deadline, self._deadline_flush
+            )
+        return True
+
+    def _deadline_flush(self) -> None:
+        self._deadline_timer = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Encode the buffer once and offer it toward the current leader."""
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+            self._deadline_timer = None
+        if not self._buffer:
+            return
+        batch = CommandBatch(
+            count=len(self._buffer), data=encode_commands(self._buffer)
+        )
+        self._buffer.clear()
+        self._dispatch(batch)
+
+    def _dispatch(self, batch: CommandBatch) -> None:
+        replica = self.replica
+        leader = replica.leader_of(replica.current_view)
+        if leader == replica.pid:
+            replica.mempool.ingest(batch)
+        else:
+            replica.send(leader, CommandForward(batch=batch))
+
+    def retry_outstanding(self) -> None:
+        """Re-offer every outstanding command to the *current* leader.
+
+        This is the re-proposal path across failed views: forwards lost to
+        drops or a crashed leader come back here until the command applies.
+        """
+        self.flush()
+        if not self._outstanding:
+            return
+        commands = [entry[0] for entry in self._outstanding.values()]
+        size = self.workload.forward_batch
+        for lo in range(0, len(commands), size):
+            chunk = commands[lo : lo + size]
+            self._dispatch(
+                CommandBatch(count=len(chunk), data=encode_commands(chunk))
+            )
+
+    def on_applied(self, command: Command, time: float) -> None:
+        """State-machine callback: complete the request if it is ours."""
+        entry = self._outstanding.pop((command.client, command.seq), None)
+        if entry is None:
+            return  # another replica's client, or a late duplicate
+        self.metrics.record_request_applied(self.replica.pid, entry[1], time)
+        if self.on_complete is not None:
+            self.on_complete(command)
+
+
+class OpenLoopLoad:
+    """Offered-rate generator: submits on a fixed time grid, rain or shine.
+
+    ``rate`` commands/sec per hosting replica, round-robin over
+    ``clients`` independent streams.  A refused submission never slows the
+    grid — the stream simply re-offers the same identity at its next tick
+    (the refusal is counted), which is what makes it the overload probe.
+    """
+
+    def __init__(
+        self, replica, gateway: RequestGateway, workload: WorkloadConfig
+    ) -> None:
+        self.replica = replica
+        self.gateway = gateway
+        self.workload = workload
+        n = replica.config.n
+        self._client_ids = [
+            replica.pid + n * k for k in range(workload.clients)
+        ]
+        self._seqs = [0] * workload.clients
+        self._stream = 0
+        self._tick = 0
+        self._origin = 0.0
+        self._interval = 1.0 / workload.rate
+
+    def start(self) -> None:
+        self._origin = self.replica.now + self.workload.start
+        self.replica.runtime.set_timer_at(self._origin, self._submit_tick)
+        self.replica.runtime.set_timer_at(
+            self._origin + self.workload.retry_interval, self._retry_tick
+        )
+
+    def _within_window(self, time: float) -> bool:
+        stop = self.workload.stop
+        return stop is None or time < self._origin - self.workload.start + stop
+
+    def _submit_tick(self) -> None:
+        now = self.replica.now
+        if not self._within_window(now):
+            return
+        stream = self._stream
+        self._stream = (stream + 1) % len(self._client_ids)
+        command = make_command(
+            self.workload, self._client_ids[stream], self._seqs[stream]
+        )
+        if self.gateway.submit(command):
+            self._seqs[stream] += 1
+        self._tick += 1
+        # Fixed grid (not now + interval): no drift, and identical firing
+        # times under sim and virtual-clock live runs.
+        self.replica.runtime.set_timer_at(
+            self._origin + self._tick * self._interval, self._submit_tick
+        )
+
+    def _retry_tick(self) -> None:
+        self.gateway.retry_outstanding()
+        if self.gateway.outstanding or self._within_window(self.replica.now):
+            self.replica.runtime.set_timer(
+                self.workload.retry_interval, self._retry_tick
+            )
+
+
+class ClosedLoopLoad:
+    """Fixed-concurrency generator: each client waits for its previous
+    command to apply (plus ``think_time``) before submitting the next."""
+
+    def __init__(
+        self, replica, gateway: RequestGateway, workload: WorkloadConfig
+    ) -> None:
+        self.replica = replica
+        self.gateway = gateway
+        self.workload = workload
+        gateway.on_complete = self._on_complete
+        n = replica.config.n
+        self._clients = {
+            replica.pid + n * k: 0 for k in range(workload.clients)
+        }
+        self._origin = 0.0
+
+    def start(self) -> None:
+        self._origin = self.replica.now + self.workload.start
+        for client in self._clients:
+            self.replica.runtime.set_timer_at(
+                self._origin, self._submit_next, client
+            )
+        self.replica.runtime.set_timer_at(
+            self._origin + self.workload.retry_interval, self._retry_tick
+        )
+
+    def _within_window(self, time: float) -> bool:
+        stop = self.workload.stop
+        return stop is None or time < self._origin - self.workload.start + stop
+
+    def _submit_next(self, client: int) -> None:
+        if not self._within_window(self.replica.now):
+            return
+        seq = self._clients[client]
+        command = make_command(self.workload, client, seq)
+        if self.gateway.submit(command):
+            self._clients[client] = seq + 1
+        else:
+            # Closed-loop sources back off on refusal instead of dropping.
+            self.replica.runtime.set_timer(
+                self.workload.retry_interval, self._submit_next, client
+            )
+
+    def _on_complete(self, command: Command) -> None:
+        if command.client not in self._clients:
+            return
+        if self.workload.think_time > 0.0:
+            self.replica.runtime.set_timer(
+                self.workload.think_time, self._submit_next, command.client
+            )
+        else:
+            self.replica.runtime.spawn(self._submit_next, command.client)
+
+    def _retry_tick(self) -> None:
+        self.gateway.retry_outstanding()
+        if self.gateway.outstanding or self._within_window(self.replica.now):
+            self.replica.runtime.set_timer(
+                self.workload.retry_interval, self._retry_tick
+            )
+
+
+_LOADS = {"open": OpenLoopLoad, "closed": ClosedLoopLoad}
+
+
+def attach_workload(replica, workload: WorkloadConfig) -> None:
+    """Wire one replica for the client workload (no-op if ``workload`` is None).
+
+    Called from every builder that constructs replicas — ``build_scenario``
+    (sim), ``_make_replica`` (in-memory live, TCP, and the spawned workers
+    of a multi-process cluster) — so all four execution lanes run the same
+    client path.  Every replica gets the state machine; only the replicas
+    ``workload.client_pids`` selects also get a gateway and generator.
+    """
+    if workload is None:
+        return
+    replica.mempool = Mempool(
+        replica.pid,
+        batch_size=replica.mempool.batch_size,
+        max_batch=workload.max_batch,
+        max_pending=workload.max_mempool,
+    )
+    state_machine = ReplicatedKV()
+    replica.state_machine = state_machine
+    if not workload.hosts_clients(replica.pid, replica.config.n):
+        return
+    gateway = RequestGateway(replica, workload)
+    state_machine.on_apply = gateway.on_applied
+    load_factory = _LOADS.get(workload.mode)
+    if load_factory is None:
+        raise ValueError(
+            f"unknown workload mode {workload.mode!r} (expected 'open' or 'closed')"
+        )
+    replica.clients = load_factory(replica, gateway, workload)
+    replica.gateway = gateway
+
+
+def kv_state_digests(replicas) -> dict[int, str]:
+    """Per-replica KV state digests (replicas without a state machine skipped)."""
+    return {
+        replica.pid: replica.state_machine.digest()
+        for replica in replicas
+        if getattr(replica, "state_machine", None) is not None
+    }
+
+
+def kv_apply_chains(replicas) -> dict[int, tuple[str, ...]]:
+    """Per-replica apply chains, for prefix-consistency checks."""
+    return {
+        replica.pid: replica.state_machine.apply_chain
+        for replica in replicas
+        if getattr(replica, "state_machine", None) is not None
+    }

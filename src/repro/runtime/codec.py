@@ -28,6 +28,7 @@ Two codecs ship, selected by name via :func:`make_codec`:
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import json
 import struct
@@ -46,6 +47,7 @@ _TUPLE = "__tuple__"
 _FROZENSET = "__frozenset__"
 _DICT = "__dict__"
 _CLASS = "__class__"
+_BYTES = "__bytes__"
 
 
 class WireCodecError(ConfigurationError):
@@ -130,6 +132,9 @@ class WireCodec:
         """Registered-dataclass tree -> JSON-safe structure."""
         if value is None or isinstance(value, (bool, int, float, str)):
             return value
+        if isinstance(value, bytes):
+            # JSON has no byte strings; base64 keeps the frame greppable.
+            return {_BYTES: base64.b64encode(value).decode("ascii")}
         if isinstance(value, tuple):
             return {_TUPLE: [self.pack(item) for item in value]}
         if isinstance(value, list):
@@ -164,6 +169,8 @@ class WireCodec:
         if isinstance(data, list):
             return [self.unpack(item) for item in data]
         if isinstance(data, dict):
+            if _BYTES in data:
+                return base64.b64decode(data[_BYTES])
             if _TUPLE in data:
                 return tuple(self.unpack(item) for item in data[_TUPLE])
             if _FROZENSET in data:
@@ -535,11 +542,19 @@ def _register_library_messages(codec: WireCodec) -> WireCodec:
     from repro.crypto.signatures import Signature
     from repro.crypto.threshold import PartialSignature, ThresholdSignature
     from repro.pacemakers.base import PacemakerMessage
+    from repro.statemachine.messages import ClientMessage, CommandBatch
 
     codec.register_all(
-        [Block, QuorumCertificate, Signature, PartialSignature, ThresholdSignature]
+        [
+            Block,
+            QuorumCertificate,
+            Signature,
+            PartialSignature,
+            ThresholdSignature,
+            CommandBatch,
+        ]
     )
-    for base in (ConsensusMessage, PacemakerMessage):
+    for base in (ConsensusMessage, PacemakerMessage, ClientMessage):
         codec.register_all(sorted(_message_subclasses(base), key=lambda c: c.__name__))
     return codec
 

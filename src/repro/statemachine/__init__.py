@@ -1,0 +1,37 @@
+"""Deterministic replicated key-value state machine over the ledger.
+
+The client-facing layer of the stack: commands (:mod:`.commands`), their
+wire messages (:mod:`.messages`), and the store that applies committed
+blocks exactly once (:mod:`.kvstore`).  The load generators and request
+gateway that *drive* this state machine live in
+:mod:`repro.runner.workload`; this package depends on nothing above the
+consensus layer, so the consensus code can import it freely.
+"""
+
+from repro.statemachine.commands import (
+    OP_DELETE,
+    OP_PUT,
+    Command,
+    decode_commands,
+    encode_commands,
+)
+from repro.statemachine.kvstore import (
+    KVStore,
+    ReplicatedKV,
+    apply_chains_consistent,
+)
+from repro.statemachine.messages import ClientMessage, CommandBatch, CommandForward
+
+__all__ = [
+    "OP_DELETE",
+    "OP_PUT",
+    "Command",
+    "decode_commands",
+    "encode_commands",
+    "KVStore",
+    "ReplicatedKV",
+    "apply_chains_consistent",
+    "ClientMessage",
+    "CommandBatch",
+    "CommandForward",
+]

@@ -38,6 +38,8 @@ from repro.pacemakers.base import PacemakerMessage
 from repro.pacemakers.cogsworth import RelayCertificate, WishMessage
 from repro.pacemakers.fever import FeverViewCertificate, FeverViewMessage
 from repro.pacemakers.lp22 import LP22EpochCertificate, LP22EpochViewMessage
+from repro.statemachine.commands import Command, encode_commands
+from repro.statemachine.messages import ClientMessage, CommandBatch, CommandForward
 from repro.runtime.codec import (
     BinaryWireCodec,
     WireCodec,
@@ -68,6 +70,15 @@ def message_zoo() -> list:
         justify_view=6,
     )
     qc = QuorumCertificate(view=6, block_id="block-6-beef", aggregate=aggregate)
+    batch = CommandBatch(
+        count=2,
+        data=encode_commands(
+            [
+                Command(1, 0, 0, "c1:0", "v1:0"),
+                Command(1, 1, 1, "c1:1", ""),
+            ]
+        ),
+    )
     return [
         signature,
         partial,
@@ -90,6 +101,9 @@ def message_zoo() -> list:
         FeverViewCertificate(view=12, aggregate=aggregate),
         LP22EpochViewMessage(view=13, partial=partial),
         LP22EpochCertificate(view=13, aggregate=aggregate),
+        ClientMessage(),
+        batch,
+        CommandForward(batch=batch),
     ]
 
 

@@ -13,10 +13,10 @@ Two collectors exist:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.crypto.threshold import PartialSignature, ThresholdScheme, ThresholdSignature
-from repro.errors import ThresholdError
+from repro.errors import CryptoError, ThresholdError
 
 
 class CertificateCollector:
@@ -29,6 +29,10 @@ class CertificateCollector:
         self._partials: dict[int, dict[int, PartialSignature]] = {}
         self._formed: set[int] = set()
         self._payloads: dict[int, tuple] = {}
+        # Sender -> VerifyingKey, resolved once: ``PKI.is_valid_digest``
+        # re-derives the key (dict lookup behind a try/except) on every
+        # share, and a leader sees each sender once per view.
+        self._vkeys: dict[int, Any] = {}
 
     def _payload_and_digest(self, view: int) -> tuple:
         """``(payload, digest)`` for ``view``, computed once per view.
@@ -44,24 +48,47 @@ class CertificateCollector:
         return cached
 
     def add(self, view: int, sender: int, partial: PartialSignature) -> Optional[ThresholdSignature]:
-        """Record a share; return the aggregate the first time the threshold is met."""
-        if view in self._formed:
-            return None
-        payload, payload_digest = self._payload_and_digest(view)
-        if not self.scheme.verify_partial(partial, payload, message_digest=payload_digest):
-            return None
-        if partial.signer != sender:
+        """Record a share; return the aggregate the first time the threshold is met.
+
+        The checks run cheapest-first: mismatched or duplicate senders are
+        rejected before any signature verification happens — a re-delivered
+        share costs two dict lookups, not a proof digest.
+        """
+        if view in self._formed or partial.signer != sender:
             return None
         bucket = self._partials.setdefault(view, {})
+        if sender in bucket:
+            return None
+        payload, payload_digest = self._payload_and_digest(view)
+        if partial.message_digest != payload_digest:
+            return None
+        key = self._verifying_key(sender)
+        if key is None or not key.verify_digest(partial.signature, payload_digest):
+            return None
         bucket[sender] = partial
         if len(bucket) < self.threshold:
             return None
         try:
-            aggregate = self.scheme.combine(list(bucket.values()), self.threshold, payload)
+            aggregate = self.scheme.combine(
+                list(bucket.values()),
+                self.threshold,
+                payload,
+                message_digest=payload_digest,
+            )
         except ThresholdError:
             return None
         self._formed.add(view)
         return aggregate
+
+    def _verifying_key(self, sender: int):
+        key = self._vkeys.get(sender)
+        if key is None:
+            try:
+                key = self.scheme.pki.verifying_key(sender)
+            except CryptoError:
+                return None
+            self._vkeys[sender] = key
+        return key
 
     def count(self, view: int) -> int:
         """Number of distinct valid shares collected for ``view``."""
@@ -91,19 +118,40 @@ class EpochMessageCollector:
         # every processor runs one of these, and every broadcast epoch-view
         # message used to re-digest the per-view payload on arrival.
         self._payloads: dict[int, tuple] = {}
+        # Sender -> VerifyingKey, resolved once (see CertificateCollector).
+        self._vkeys: dict[int, Any] = {}
 
     def add(self, view: int, sender: int, partial: PartialSignature) -> tuple[bool, bool]:
-        """Record an epoch-view message; report threshold crossings."""
+        """Record an epoch-view message; report threshold crossings.
+
+        Duplicate senders return early *before* signature verification:
+        once a signer counted towards a view, re-verifying a re-broadcast
+        cannot change either threshold answer (both thresholds are reported
+        the instant the signer count reaches them), so the proof digest is
+        pure waste — and every processor receives every broadcast, so the
+        duplicate path is the common one under retransmission.
+        """
         if partial.signer != sender:
+            return (False, False)
+        signers = self._signers.setdefault(view, set())
+        if sender in signers:
             return (False, False)
         cached = self._payloads.get(view)
         if cached is None:
             payload = self.payload_fn(view)
             cached = self._payloads[view] = (payload, self.scheme.backend.digest(payload))
         payload, payload_digest = cached
-        if not self.scheme.verify_partial(partial, payload, message_digest=payload_digest):
+        if partial.message_digest != payload_digest:
             return (False, False)
-        signers = self._signers.setdefault(view, set())
+        key = self._vkeys.get(sender)
+        if key is None:
+            try:
+                key = self.scheme.pki.verifying_key(sender)
+            except CryptoError:
+                return (False, False)
+            self._vkeys[sender] = key
+        if not key.verify_digest(partial.signature, payload_digest):
+            return (False, False)
         signers.add(sender)
         tc_now = False
         ec_now = False

@@ -138,9 +138,20 @@ class ThresholdScheme:
     # ------------------------------------------------------------------
     # Shares
     # ------------------------------------------------------------------
-    def partial_sign(self, key: SigningKey, message: Any) -> PartialSignature:
-        """Create this signer's share over ``message``."""
-        message_digest = self.backend.digest(message)
+    def partial_sign(
+        self,
+        key: SigningKey,
+        message: Any,
+        message_digest: Optional[str] = None,
+    ) -> PartialSignature:
+        """Create this signer's share over ``message``.
+
+        ``message_digest`` must be the caller's own digest of ``message``
+        (see :meth:`verify_partial`); passing it elides the re-digest for
+        callers that memoise per-view payload digests.
+        """
+        if message_digest is None:
+            message_digest = self.backend.digest(message)
         signature = key.sign_digest(message_digest)
         return PartialSignature(
             signer=key.owner, message_digest=message_digest, signature=signature
@@ -172,6 +183,7 @@ class ThresholdScheme:
         partials: Sequence[PartialSignature],
         threshold: int,
         message: Any,
+        message_digest: Optional[str] = None,
     ) -> ThresholdSignature:
         """Aggregate shares into a threshold signature.
 
@@ -189,7 +201,8 @@ class ThresholdScheme:
         """
         if threshold <= 0:
             raise ThresholdError(f"threshold must be positive, got {threshold}")
-        message_digest = self.backend.digest(message)
+        if message_digest is None:
+            message_digest = self.backend.digest(message)
         matching = [p for p in partials if p.message_digest == message_digest]
         valid_signers: set[int] = set()
         batched = False
@@ -234,15 +247,23 @@ class ThresholdScheme:
             proof=proof,
         )
 
-    def verify(self, aggregate: ThresholdSignature, message: Any) -> bool:
+    def verify(
+        self,
+        aggregate: ThresholdSignature,
+        message: Any,
+        message_digest: Optional[str] = None,
+    ) -> bool:
         """Verify an aggregated signature against ``message``.
 
         With the verified cache enabled (the default), re-verifying a
         certificate that already passed — every replica checks every QC as
         it arrives — costs one digest of the small ``message`` plus a set
-        lookup, instead of re-digesting the O(n) signer set.
+        lookup, instead of re-digesting the O(n) signer set.  As with
+        :meth:`verify_partial`, ``message_digest`` must be the caller's own
+        digest of ``message``, never one read off the wire.
         """
-        message_digest = self.backend.digest(message)
+        if message_digest is None:
+            message_digest = self.backend.digest(message)
         if aggregate.message_digest != message_digest:
             return False
         verified = self._verified

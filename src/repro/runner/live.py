@@ -690,9 +690,10 @@ def make_live_cluster(
     processes: Optional[int] = None,
     connect_timeout: float = 10.0,
     coalesce_writes: bool = True,
+    transport: str = "tcp",
     **kwargs: Any,
 ):
-    """Build a live TCP cluster with the requested process placement.
+    """Build a live cluster with the requested process placement.
 
     ``placement="inline"`` returns a :class:`TcpCluster` — every node in
     the calling process, one event loop, real sockets.
@@ -704,13 +705,27 @@ def make_live_cluster(
     benchmarks and examples switch placement with this one knob.
 
     ``processes`` is only meaningful under process placement (inline has
-    exactly one); extra ``kwargs`` go to the chosen cluster's constructor.
+    exactly one), as is ``transport``: ``"tcp"`` (localhost sockets, the
+    default) or ``"shm"`` (shared-memory rings between the node processes —
+    the faster lane on one machine).  Inline placement has no process
+    boundary to cross, so it always speaks TCP and rejects ``"shm"``.
+    Extra ``kwargs`` go to the chosen cluster's constructor.
     """
+    if transport not in ("tcp", "shm"):
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; available: tcp, shm"
+        )
     if placement == "inline":
         if processes is not None:
             raise ConfigurationError(
                 "processes is a process-placement knob; inline placement "
                 "runs every node in the calling process"
+            )
+        if transport != "tcp":
+            raise ConfigurationError(
+                "transport=\"shm\" is a process-placement knob; inline "
+                "placement shares one heap and has no process boundary for "
+                "shared memory to cross"
             )
         return TcpCluster(
             config, host=host, codec=codec, connect_timeout=connect_timeout,
@@ -722,7 +737,7 @@ def make_live_cluster(
         return ProcessCluster(
             config, host=host, codec=codec, processes=processes,
             connect_timeout=connect_timeout, coalesce_writes=coalesce_writes,
-            **kwargs,
+            transport=transport, **kwargs,
         )
     raise ConfigurationError(
         f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
@@ -734,6 +749,7 @@ async def run_process_scenario_async(
     codec: Optional[str] = None,
     processes: Optional[int] = None,
     coalesce_writes: bool = True,
+    transport: str = "tcp",
     stop_when: Optional[Callable[[Any], bool]] = None,
 ) -> LiveRunResult:
     """Run ``config`` on a multi-process cluster to ``config.duration``.
@@ -744,12 +760,14 @@ async def run_process_scenario_async(
     and ``stop_when`` receives the
     :class:`~repro.runner.process_cluster.ProcessCluster` — use
     ``min_committed()`` for progress predicates.  The cluster is always
-    stopped and merged, even when the run raises.
+    stopped and merged, even when the run raises.  ``transport`` selects
+    the inter-node fabric (``"tcp"`` or ``"shm"``).
     """
     from repro.runner.process_cluster import ProcessCluster
 
     cluster = ProcessCluster(
-        config, codec=codec, processes=processes, coalesce_writes=coalesce_writes
+        config, codec=codec, processes=processes,
+        coalesce_writes=coalesce_writes, transport=transport,
     )
     try:
         await cluster.run(config.duration, stop_when=stop_when)
@@ -763,13 +781,15 @@ def run_process_scenario(
     codec: Optional[str] = None,
     processes: Optional[int] = None,
     coalesce_writes: bool = True,
+    transport: str = "tcp",
     stop_when: Optional[Callable[[Any], bool]] = None,
 ) -> LiveRunResult:
     """Blocking wrapper over :func:`run_process_scenario_async` (owns the loop)."""
     return asyncio.run(
         run_process_scenario_async(
             config, codec=codec, processes=processes,
-            coalesce_writes=coalesce_writes, stop_when=stop_when,
+            coalesce_writes=coalesce_writes, transport=transport,
+            stop_when=stop_when,
         )
     )
 
@@ -787,25 +807,31 @@ def execute_live_cell(
     jitter: float = 0.0,
     chaos: Optional[ChaosConfig] = None,
     placement: str = "inline",
+    transport: str = "tcp",
 ) -> RunRecord:
     """Run one campaign cell on the asyncio runtime.
 
     The live twin of :func:`repro.runner.executor.execute_cell`: same
     picklable :class:`RunRecord` shape, with ``events_processed`` counted
     by the runtime.  ``key`` arrives already salted by the campaign layer
-    (``live:`` prefix, plus jitter/chaos/placement knobs when set) so
-    cached live records never shadow simulated ones.
+    (``live:`` prefix, plus jitter/chaos/placement/transport knobs when
+    set) so cached live records never shadow simulated ones.
 
     ``placement="inline"`` (the default) runs the cell in-memory under the
     virtual clock — the deterministic fast path.  ``placement="process"``
-    runs it on a multi-process TCP cluster instead: real wall time, one OS
-    process per node.  Jitter and chaos are inline-transport knobs and are
-    rejected under process placement (a process cell's noise is the real
-    network's).
+    runs it on a multi-process cluster instead: real wall time, one OS
+    process per node, over localhost TCP or (``transport="shm"``)
+    shared-memory rings.  Jitter and chaos are inline-transport knobs and
+    are rejected under process placement (a process cell's noise is the
+    real network's); ``transport`` conversely is a process-placement knob.
     """
     if placement not in PLACEMENTS:
         raise ConfigurationError(
             f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+        )
+    if transport not in ("tcp", "shm"):
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; available: tcp, shm"
         )
     if config is None:
         config = build(params)
@@ -822,8 +848,13 @@ def execute_live_cell(
                 "placement does not support it (use a scenario/delay_model, "
                 "which the node processes impose themselves)"
             )
-        result = run_process_scenario(config)
+        result = run_process_scenario(config, transport=transport)
     else:
+        if transport != "tcp":
+            raise ConfigurationError(
+                "transport=\"shm\" is a process-placement knob; inline "
+                "cells share one heap (use placement=\"process\")"
+            )
         result = run_live_scenario(
             config, jitter=jitter, max_events=max_events, chaos=chaos
         )
@@ -859,16 +890,18 @@ class LiveExecutor:
     #: Where each cell's nodes run: ``"inline"`` (one process, virtual
     #: clock) or ``"process"`` (one OS process per node, wall clock).
     placement: str = "inline"
+    #: Inter-node fabric under process placement: ``"tcp"`` or ``"shm"``.
+    transport: str = "tcp"
 
     @property
     def cache_salt(self) -> str:
         """Cache-key prefix binding everything this executor changes about a run.
 
         ``live:`` alone for the canonical zero-jitter, fault-free, inline
-        executor; the jitter value, chaos knobs and non-default placement
-        are folded in otherwise, so records produced under different
-        latency noise, injected faults or process placement never answer
-        for each other from a shared cache.
+        executor; the jitter value, chaos knobs, non-default placement and
+        non-default transport are folded in otherwise, so records produced
+        under different latency noise, injected faults, process placement
+        or message fabric never answer for each other from a shared cache.
         """
         knobs = []
         if self.jitter != 0.0:
@@ -877,6 +910,8 @@ class LiveExecutor:
             knobs.append(self.chaos.describe())
         if self.placement != "inline":
             knobs.append(f"placement={self.placement}")
+        if self.transport != "tcp":
+            knobs.append(f"transport={self.transport}")
         if not knobs:
             return "live:"
         return f"live[{','.join(knobs)}]:"
@@ -893,4 +928,5 @@ class LiveExecutor:
         return execute_live_cell(
             build, params, run_id, key, max_events=max_events, config=config,
             jitter=self.jitter, chaos=self.chaos, placement=self.placement,
+            transport=self.transport,
         )

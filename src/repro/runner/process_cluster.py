@@ -49,8 +49,10 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import os
 import time
 import traceback
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -59,13 +61,17 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.collector import MetricsCollector, merge_metrics_states
 from repro.runtime import (
+    DEFAULT_RING_BYTES,
     AsyncioRuntime,
     FaultCounters,
     FaultyTransport,
     MonotonicClock,
     RuntimeContext,
+    ShmTransport,
     TcpTransport,
     adapt_schedule,
+    create_cluster_rings,
+    destroy_cluster_rings,
     track_downtime,
 )
 from repro.sim.tracing import TraceRecorder
@@ -92,6 +98,12 @@ class _ShardSpec:
     connect_timeout: float
     poll: float
     lifetime: float
+    #: Inter-node fabric: ``"tcp"`` (localhost sockets) or ``"shm"``
+    #: (shared-memory rings; ``shm_token`` names the parent-created
+    #: segments and ``ring_bytes`` their per-pair data capacity).
+    transport: str = "tcp"
+    shm_token: Optional[str] = None
+    ring_bytes: int = DEFAULT_RING_BYTES
 
 
 @dataclass(frozen=True)
@@ -147,27 +159,42 @@ async def _shard_main(spec: _ShardSpec, conn) -> None:
     ) = _build_protocol_stack(spec.config)
     chaotic = delay_model is not None or spec.config.scenario is not None
     counters = FaultCounters() if chaotic else None
-    tcp_transports = {
-        pid: TcpTransport(
-            pid,
-            host=spec.host,
-            codec=spec.codec,
-            connect_timeout=spec.connect_timeout,
-            coalesce_writes=spec.coalesce_writes,
-        )
-        for pid in spec.pids
-    }
+    if spec.transport == "shm":
+        assert spec.shm_token is not None, "shm transport needs a cluster token"
+        node_transports: dict[int, Any] = {
+            pid: ShmTransport(
+                pid,
+                token=spec.shm_token,
+                codec=spec.codec,
+                ring_bytes=spec.ring_bytes,
+                host=spec.host,
+            )
+            for pid in spec.pids
+        }
+    else:
+        node_transports = {
+            pid: TcpTransport(
+                pid,
+                host=spec.host,
+                codec=spec.codec,
+                connect_timeout=spec.connect_timeout,
+                coalesce_writes=spec.coalesce_writes,
+            )
+            for pid in spec.pids
+        }
     addresses = {}
-    for pid, transport in tcp_transports.items():
+    for pid, transport in node_transports.items():
+        # For shm the "address" is the node's UDP doorbell; the bootstrap
+        # exchange is byte-for-byte the same dance either way.
         addresses[pid] = await transport.start_server()
     conn.send(("addresses", addresses, _key_fingerprint(signing_keys)))
 
     kind, peers = await _pipe_recv(conn, spec.poll, timeout=spec.lifetime)
     assert kind == "peers", f"unexpected bootstrap message {kind!r}"
-    for transport in tcp_transports.values():
+    for transport in node_transports.values():
         transport.set_peers(peers)
 
-    transports: dict[int, Any] = dict(tcp_transports)
+    transports: dict[int, Any] = dict(node_transports)
     if delay_model is not None:
         # Same hold-then-forward approximation as TcpCluster: each node
         # imposes the shared schedule on its outgoing sends, seeded per pid.
@@ -179,7 +206,7 @@ async def _shard_main(spec: _ShardSpec, conn) -> None:
                 schedule_seed=spec.config.seed + pid,
                 counters=counters,
             )
-            for pid, transport in tcp_transports.items()
+            for pid, transport in node_transports.items()
         }
 
     clock = MonotonicClock(origin=spec.clock_origin)
@@ -266,7 +293,21 @@ async def _shard_main(spec: _ShardSpec, conn) -> None:
 def _shard_worker(spec: _ShardSpec, conn) -> None:
     """Spawn target: run the shard, ship errors instead of dying silently."""
     try:
-        asyncio.run(_shard_main(spec, conn))
+        profile_dir = os.environ.get("REPRO_WORKER_PROFILE")
+        if profile_dir:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                asyncio.run(_shard_main(spec, conn))
+            finally:
+                profiler.disable()
+                profiler.dump_stats(
+                    os.path.join(profile_dir, f"worker-{os.getpid()}.prof")
+                )
+        else:
+            asyncio.run(_shard_main(spec, conn))
     except Exception:  # noqa: BLE001 - crossing a process boundary
         try:
             conn.send(("error", traceback.format_exc()))
@@ -325,6 +366,18 @@ class ProcessCluster:
     codec:
         Wire-codec *name* (``"binary"``/``"json"``); codec instances do not
         cross the spawn boundary.
+    transport:
+        Inter-node fabric.  ``"tcp"`` (default) speaks length-prefixed
+        frames over localhost sockets; ``"shm"`` moves frames through
+        shared-memory SPSC rings (:class:`~repro.runtime.shm.ShmTransport`)
+        — no per-frame syscalls, no kernel copies — which is the faster
+        lane whenever the whole cluster shares a machine.  The parent
+        creates one segment per directed node pair before spawning and is
+        the only process that unlinks them.
+    ring_bytes:
+        Per-directed-pair ring capacity for ``transport="shm"`` (a frame
+        that outgrows the free space is dropped and counted, never blocked
+        on).
     """
 
     def __init__(
@@ -339,6 +392,8 @@ class ProcessCluster:
         worker_poll: float = 0.02,
         bootstrap_timeout: float = 120.0,
         teardown_timeout: float = 30.0,
+        transport: str = "tcp",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if codec is not None and not isinstance(codec, str):
             raise ConfigurationError(
@@ -353,7 +408,13 @@ class ProcessCluster:
             )
         if processes is not None and processes < 1:
             raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        if transport not in ("tcp", "shm"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; available: tcp, shm"
+            )
         self.config = config
+        self.transport = transport
+        self.ring_bytes = ring_bytes
         self.host = host
         self.codec = codec
         self.processes = min(processes, config.n) if processes is not None else config.n
@@ -384,6 +445,8 @@ class ProcessCluster:
         self.messages_delivered = 0
         self._workers: list[_Worker] = []
         self._stack: Optional[tuple] = None
+        self._segments: list = []  # parent-owned shm ring segments
+        self._shm_token: Optional[str] = None
         self._started = False
         self._stopped = False
         self._status_due = 0.0
@@ -407,29 +470,40 @@ class ProcessCluster:
         origin = time.monotonic()
         lifetime = self.config.duration + WORKER_LIFETIME_MARGIN
         ctx = multiprocessing.get_context("spawn")
-        for index, shard in enumerate(shards):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            spec = _ShardSpec(
-                config=self.config,
-                pids=tuple(shard),
-                host=self.host,
-                codec=self.codec,
-                clock_origin=origin,
-                coalesce_writes=self.coalesce_writes,
-                connect_timeout=self.connect_timeout,
-                poll=self.worker_poll,
-                lifetime=lifetime,
-            )
-            process = ctx.Process(
-                target=_shard_worker, args=(spec, child_conn), daemon=True,
-                name=f"repro-shard-{index}",
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append(
-                _Worker(index=index, pids=tuple(shard), process=process, conn=parent_conn)
+        if self.transport == "shm":
+            # The parent creates every directed-pair ring segment before the
+            # first worker exists and remains their sole owner; workers only
+            # attach by the deterministic names the token implies.
+            self._shm_token = uuid.uuid4().hex[:12]
+            self._segments = create_cluster_rings(
+                self._shm_token, pids, self.ring_bytes
             )
         try:
+            for index, shard in enumerate(shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                spec = _ShardSpec(
+                    config=self.config,
+                    pids=tuple(shard),
+                    host=self.host,
+                    codec=self.codec,
+                    clock_origin=origin,
+                    coalesce_writes=self.coalesce_writes,
+                    connect_timeout=self.connect_timeout,
+                    poll=self.worker_poll,
+                    lifetime=lifetime,
+                    transport=self.transport,
+                    shm_token=self._shm_token,
+                    ring_bytes=self.ring_bytes,
+                )
+                process = ctx.Process(
+                    target=_shard_worker, args=(spec, child_conn), daemon=True,
+                    name=f"repro-shard-{index}",
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(
+                    _Worker(index=index, pids=tuple(shard), process=process, conn=parent_conn)
+                )
             addresses: dict[int, tuple[str, int]] = {}
             fingerprints = []
             for worker in self._workers:
@@ -460,6 +534,7 @@ class ProcessCluster:
                 worker.conn.send(("go",))
         except Exception:
             self._terminate_all()
+            self._release_segments()
             raise
         self._started = True
 
@@ -532,6 +607,7 @@ class ProcessCluster:
                     f"{worker.process.exitcode} without reporting results"
                 )
             worker.conn.close()
+        self._release_segments()
         self._merge(reports)
 
     # ------------------------------------------------------------------
@@ -711,6 +787,16 @@ class ProcessCluster:
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
             worker.conn.close()
+
+    def _release_segments(self) -> None:
+        """Unlink the parent-owned shm ring segments (idempotent).
+
+        Safe while workers are still attached — unlinking removes the name,
+        existing mappings stay valid until each worker closes its own.
+        """
+        if self._segments:
+            destroy_cluster_rings(self._segments)
+            self._segments = []
 
     def _merge(self, reports: list[ShardReport]) -> None:
         """Fold the shard reports into the cluster-wide result surface."""

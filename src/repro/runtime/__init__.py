@@ -13,7 +13,10 @@ the *same* protocol objects execute
   :class:`~repro.runtime.transports.LocalTransport`, deterministic when
   seeded under a :class:`~repro.runtime.asyncio_runtime.VirtualClock`), or
 * over real TCP sockets (:class:`~repro.runtime.tcp.TcpTransport`,
-  length-prefixed binary frames by default, JSON via ``codec="json"``).
+  length-prefixed binary frames by default, JSON via ``codec="json"``), or
+* over shared-memory rings between co-located node processes
+  (:class:`~repro.runtime.shm.ShmTransport`, one SPSC ring per directed
+  pair — zero syscalls and zero frame copies in steady state).
 
 See ``docs/runtimes.md`` for the interface contract and a
 writing-a-transport guide.
@@ -45,6 +48,15 @@ from repro.runtime.codec import (
     make_codec,
 )
 from repro.runtime.tcp import TcpTransport
+from repro.runtime.shm import (
+    DEFAULT_RING_BYTES,
+    ShmTransport,
+    SpscRing,
+    attach_ring,
+    create_cluster_rings,
+    destroy_cluster_rings,
+    ring_segment_name,
+)
 
 __all__ = [
     "AsyncioRuntime",
@@ -52,6 +64,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosContext",
     "Clock",
+    "DEFAULT_RING_BYTES",
     "FaultCounters",
     "FaultyTransport",
     "LocalTransport",
@@ -59,7 +72,9 @@ __all__ = [
     "Runtime",
     "RuntimeContext",
     "ScheduleAdapter",
+    "ShmTransport",
     "SimRuntime",
+    "SpscRing",
     "TcpTransport",
     "TimerHandle",
     "Transport",
@@ -68,12 +83,16 @@ __all__ = [
     "WireCodec",
     "WireCodecError",
     "adapt_schedule",
+    "attach_ring",
     "available_codecs",
+    "create_cluster_rings",
+    "destroy_cluster_rings",
     "default_binary_codec",
     "default_codec",
     "live_adaptable_classes",
     "make_codec",
     "register_live_adapter",
+    "ring_segment_name",
     "schedule_downtime",
     "track_downtime",
 ]

@@ -223,18 +223,21 @@ class TcpTransport(Transport):
         if recipient not in self._peers:
             raise SimulationError(f"unknown recipient {recipient}")
         self._mint(sender, recipient, payload, self.runtime.now)
-        self._enqueue_frame(recipient, self.codec.encode_frame(sender, payload))
+        frame = bytearray()
+        self.codec.encode_into(sender, payload, frame)
+        self._enqueue_frame(recipient, frame)
 
     def broadcast(self, sender: int, payload: Any, include_self: bool = True) -> None:
         """Send to every processor, encoding the frame **once** for all peers.
 
         The per-peer ``send`` loop of the base class framed the identical
         payload once per recipient — an O(n) encode per broadcast.  Here the
-        frame bytes are produced once and the same ``bytes`` object is
-        enqueued on every peer's outbox (outboxes never mutate frames), so a
-        broadcast costs one encode regardless of cluster size.
+        frame bytes are produced once (``encode_into`` a single buffer, no
+        intermediate ``bytes``) and the same object is enqueued on every
+        peer's outbox (outboxes never mutate frames), so a broadcast costs
+        one encode regardless of cluster size.
         """
-        frame: Optional[bytes] = None
+        frame: Optional[bytearray] = None
         now = self.runtime.now
         for pid in self.process_ids:
             if not include_self and pid == sender:
@@ -243,7 +246,8 @@ class TcpTransport(Transport):
                 self._deliver_local(sender, payload)
                 continue
             if frame is None:
-                frame = self.codec.encode_frame(sender, payload)
+                frame = bytearray()
+                self.codec.encode_into(sender, payload, frame)
             self._mint(sender, pid, payload, now)
             self._enqueue_frame(pid, frame)
 
@@ -254,8 +258,13 @@ class TcpTransport(Transport):
             return
         self.runtime.call_after(0.0, self._delivered, envelope, self._process)
 
-    def _enqueue_frame(self, recipient: int, frame: bytes) -> None:
-        """Queue encoded bytes for a peer and (re)spawn its writer task."""
+    def _enqueue_frame(self, recipient: int, frame: Union[bytes, bytearray]) -> None:
+        """Queue encoded frame bytes for a peer and (re)spawn its writer task.
+
+        Frames may be ``bytearray`` staging buffers from ``encode_into`` —
+        they are never mutated after enqueue, and both the coalescing join
+        and the asyncio transport accept any bytes-like object.
+        """
         outbox = self._outboxes.get(recipient)
         if outbox is None:
             outbox = self._outboxes[recipient] = asyncio.Queue()
@@ -313,7 +322,7 @@ class TcpTransport(Transport):
         """
         outbox = self._outboxes[peer]
         writer: Optional[asyncio.StreamWriter] = None
-        batch: list[bytes] = []
+        batch: list[Union[bytes, bytearray]] = []
         while True:
             if not batch:
                 batch.append(await outbox.get())

@@ -289,3 +289,44 @@ class TestErrorPaths:
     def test_json_rejects_garbage_body(self):
         with pytest.raises(WireCodecError, match="malformed frame body"):
             make_codec("json").decode_body(b"\x01\x02not json")
+
+
+class TestZeroCopyPaths:
+    """``encode_into`` / decode-from-``memoryview``: the shm and coalesced-TCP
+    fast paths must be byte-for-byte and value-for-value identical to the
+    original ``encode_frame``/``decode_body(bytes)`` pair."""
+
+    def test_encode_into_matches_encode_frame_for_every_message(self, codec):
+        for message in message_zoo():
+            frame = codec.encode_frame(7, message)
+            buf = bytearray()
+            appended = codec.encode_into(7, message, buf)
+            assert bytes(buf) == frame
+            assert appended == len(frame)
+
+    def test_encode_into_appends_after_existing_content(self, codec):
+        # A coalesced writer batches many frames into one buffer; each
+        # append must leave earlier frames untouched.
+        buf = bytearray()
+        frames = []
+        for message in message_zoo():
+            frames.append(codec.encode_frame(9, message))
+            codec.encode_into(9, message, buf)
+        assert bytes(buf) == b"".join(frames)
+
+    def test_decode_from_memoryview_for_every_message(self, codec):
+        # Frames decode in place from a memoryview over a larger buffer —
+        # exactly how the shm ring hands bodies to the codec.
+        for message in message_zoo():
+            frame = codec.encode_frame(4, message)
+            backing = bytearray(b"\xaa" * 11 + frame + b"\xbb" * 7)
+            body = memoryview(backing)[11 + 4 : 11 + len(frame)]
+            sender, decoded = codec.decode_body(body)
+            assert sender == 4
+            assert decoded == message
+            assert type(decoded) is type(message)
+
+    def test_memoryview_and_bytes_decode_agree(self, codec):
+        for message in message_zoo():
+            body = codec.encode_frame(2, message)[4:]
+            assert codec.decode_body(memoryview(body)) == codec.decode_body(body)
